@@ -1,0 +1,98 @@
+"""Experiment E1 — empirical validation: measured vs estimated page I/Os.
+
+Runs the paper's transaction mix against a real stored 1000-department /
+10000-employee database under each Section 3.6 view set, measuring actual
+page I/Os through the storage engine. The shape must match the analytic
+table: {N3} ≈ 3.5, {} ≈ 12, {N4} ≈ 24 I/Os per transaction, i.e. roughly
+a 3.4× win for the right auxiliary view and a 2× loss for the wrong one.
+"""
+
+import random
+
+import pytest
+from conftest import emit, format_table
+
+from repro.core.optimizer import evaluate_view_set
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.ivm.delta import Delta
+from repro.ivm.maintainer import ViewMaintainer
+from repro.storage.database import Database
+from repro.storage.statistics import Catalog
+from repro.workload.paperdb import DEPT_SCHEMA, EMP_SCHEMA, generate_corporate_db
+from repro.workload.transactions import Transaction
+
+N_TXNS = 100
+
+
+def run_viewset(paper_dag, paper_txns, marking_extra, paper_groups, data):
+    db = Database()
+    db.create_relation("Dept", DEPT_SCHEMA, data["Dept"], indexes=[["DName"]])
+    db.create_relation("Emp", EMP_SCHEMA, data["Emp"], indexes=[["DName"]])
+    estimator = DagEstimator(paper_dag.memo, Catalog.from_database(db))
+    cost_model = PageIOCostModel(
+        paper_dag.memo,
+        estimator,
+        CostConfig(charge_root_update=False, root_group=paper_dag.root),
+    )
+    marking = frozenset(
+        {paper_dag.root, *(paper_groups[n] for n in marking_extra)}
+    )
+    ev = evaluate_view_set(
+        paper_dag.memo, marking, paper_txns, cost_model, estimator
+    )
+    maintainer = ViewMaintainer(
+        db,
+        paper_dag,
+        marking,
+        paper_txns,
+        {name: plan.track for name, plan in ev.per_txn.items()},
+        estimator,
+        cost_model,
+    )
+    maintainer.materialize()
+    rng = random.Random(17)
+    db.counter.reset()
+    for i in range(N_TXNS):
+        if i % 2 == 0:
+            old = rng.choice(sorted(db.relation("Emp").contents().rows()))
+            new = (old[0], old[1], old[2] + rng.choice([-4, 3, 7]))
+            txn = Transaction(">Emp", {"Emp": Delta.modification([(old, new)])})
+        else:
+            old = rng.choice(sorted(db.relation("Dept").contents().rows()))
+            new = (old[0], old[1], old[2] + rng.choice([-11, 6, 14]))
+            txn = Transaction(">Dept", {"Dept": Delta.modification([(old, new)])})
+        maintainer.apply(txn)
+    maintainer.verify()
+    return db.counter.total / N_TXNS, ev.weighted_cost
+
+
+def run_all(paper_dag, paper_txns, paper_groups):
+    data = generate_corporate_db(1000, 10, seed=23)
+    results = {}
+    for label, extra in (("{}", ()), ("{N3}", ("N3",)), ("{N4}", ("N4",))):
+        results[label] = run_viewset(
+            paper_dag, paper_txns, extra, paper_groups, data
+        )
+    return results
+
+
+def test_exec_validation(benchmark, paper_dag, paper_txns, paper_groups):
+    results = benchmark.pedantic(
+        run_all, args=(paper_dag, paper_txns, paper_groups), rounds=1, iterations=1
+    )
+    rows = [
+        [label, f"{measured:.2f}", f"{estimated:.2f}"]
+        for label, (measured, estimated) in results.items()
+    ]
+    emit(format_table(
+        f"E1 — measured vs estimated page I/Os per transaction ({N_TXNS} txns)",
+        ["view set", "measured", "estimated"],
+        rows,
+    ))
+    for label, (measured, estimated) in results.items():
+        assert measured == pytest.approx(estimated, rel=0.2), label
+    m_empty, m_n3, m_n4 = (results[k][0] for k in ("{}", "{N3}", "{N4}"))
+    assert m_n3 < m_empty < m_n4
+    assert m_empty / m_n3 > 2.5  # the paper's ~3.4× improvement

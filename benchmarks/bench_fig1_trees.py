@@ -1,0 +1,44 @@
+"""Figure F1 — the two expression trees for ProblemDept (paper Figure 1).
+
+The DAG must represent exactly two trees: the original (aggregate over the
+join) and the Yan–Larson rewrite (join with the pre-aggregated SumOfSals).
+"""
+
+from conftest import emit, format_table
+
+from repro.core.heuristics import enumerate_trees, tree_evaluation_cost
+from repro.dag.builder import build_dag
+from repro.dag.display import count_trees
+from repro.workload.paperdb import problem_dept_tree
+
+
+def build_and_enumerate():
+    dag = build_dag(problem_dept_tree())
+    trees = list(enumerate_trees(dag.memo, dag.root))
+    return dag, trees
+
+
+def test_fig1_two_trees(benchmark, paper_estimator):
+    dag, trees = benchmark(build_and_enumerate)
+    assert count_trees(dag.memo, dag.root) == 2
+    assert len(trees) == 2
+    shapes = []
+    for tree in trees:
+        kinds = sorted(type(op.template).__name__ for op in tree.values())
+        cost = tree_evaluation_cost(dag.memo, tree, paper_estimator)
+        shapes.append((tuple(kinds), cost))
+    shapes.sort()
+    rows = [[", ".join(kinds), f"{cost:g}"] for kinds, cost in shapes]
+    emit(format_table(
+        "F1 — expression trees for ProblemDept (paper Figure 1)",
+        ["operators", "eval cost"],
+        rows,
+    ))
+    # One tree per Figure 1: left = γ over ⋈; right = ⋈ with pre-aggregate.
+    kind_sets = {kinds for kinds, _ in shapes}
+    assert ("GroupAggregate", "Join", "Project", "Select") in kind_sets
+    assert ("GroupAggregate", "Join", "Project", "Select") in kind_sets
+    # Both trees contain exactly one aggregate and one join.
+    for kinds, _ in shapes:
+        assert kinds.count("Join") == 1
+        assert kinds.count("GroupAggregate") == 1

@@ -1,0 +1,40 @@
+"""Figure F2 — the expression DAG for ProblemDept (paper Figure 2).
+
+Benchmarks DAG construction + rule expansion and checks the node
+inventory: the paper's N1–N6 equivalence nodes and E1–E5 operation nodes
+(our DAG adds the explicit root projection the paper leaves implicit).
+"""
+
+from conftest import emit
+
+from repro.algebra.operators import GroupAggregate, Join, Project, Select
+from repro.dag.builder import build_dag
+from repro.dag.display import render_dag
+from repro.workload.paperdb import problem_dept_tree
+
+
+def test_fig2_dag_shape(benchmark):
+    dag = benchmark(lambda: build_dag(problem_dept_tree()))
+    memo = dag.memo
+    emit("F2 — expression DAG (paper Figure 2):\n" + render_dag(memo, dag.root))
+
+    stats = memo.stats()
+    # Paper: N1..N6 (6 equivalence nodes); ours adds the root projection: 7.
+    assert stats["groups"] == 7
+    assert stats["leaves"] == 2
+
+    op_kinds = sorted(
+        type(op.template).__name__ for g in memo.groups() for op in g.ops
+        if not g.is_leaf
+    )
+    # E1 (select), E2 (join), E3 (agg), E4 (agg), E5 (join) + root project.
+    assert op_kinds.count("Join") == 2
+    assert op_kinds.count("GroupAggregate") == 2
+    assert op_kinds.count("Select") == 1
+    assert op_kinds.count("Project") == 1
+
+    # The paper's N2 is the only group with two operation alternatives.
+    multi = [g for g in memo.groups() if len(g.ops) > 1]
+    assert len(multi) == 1
+    kinds = {type(op.template).__name__ for op in multi[0].ops}
+    assert kinds == {"Join", "GroupAggregate"}

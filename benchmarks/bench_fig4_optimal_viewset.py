@@ -1,0 +1,29 @@
+"""Figure F4 — Algorithm OptimalViewSet (paper Figure 4), end to end.
+
+Benchmarks the exhaustive search on the paper's DAG and checks its output:
+the optimal additional view set is {N3} (SumOfSals) at weighted cost 3.5.
+"""
+
+from conftest import emit, format_table
+
+from repro.core.optimizer import optimal_view_set
+
+
+def test_fig4_optimal_view_set(
+    benchmark, paper_dag, paper_txns, paper_cost_model, paper_estimator, paper_groups
+):
+    result = benchmark(
+        optimal_view_set, paper_dag, paper_txns, paper_cost_model, paper_estimator
+    )
+    rows = [
+        [ev.describe(paper_dag.memo, root=paper_dag.root)]
+        for ev in sorted(result.evaluated, key=lambda e: e.weighted_cost)
+    ]
+    emit(format_table(
+        f"F4 — OptimalViewSet over {result.view_sets_considered} view sets",
+        ["view set: weighted cost"],
+        rows,
+    ))
+    assert result.view_sets_considered == 16
+    assert result.best_marking == frozenset({paper_dag.root, paper_groups["N3"]})
+    assert result.best.weighted_cost == 3.5

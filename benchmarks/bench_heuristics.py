@@ -1,0 +1,116 @@
+"""Experiment E2 — the Section 5 heuristic space.
+
+Compares, on the paper's view and on a 4-relation chain join: exhaustive
+search, the shielded exhaustive search, the single-expression-tree
+restriction, the structural single-view-set rule, and greedy hill
+climbing — reporting solution quality (weighted maintenance cost) and the
+number of view sets each one costed.
+"""
+
+import pytest
+from conftest import emit, format_table
+
+from repro.core.heuristics import (
+    approximate_view_set,
+    greedy_view_set,
+    heuristic_single_tree,
+    heuristic_single_view_set,
+)
+from repro.core.optimizer import evaluate_view_set, optimal_view_set
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import build_dag
+from repro.storage.statistics import Catalog, TableStats
+from repro.workload.generators import chain_view
+from repro.workload.transactions import modify_txn
+
+
+def paper_problem(paper_dag, paper_txns, paper_cost_model, paper_estimator):
+    return paper_dag, paper_txns, paper_cost_model, paper_estimator
+
+
+def chain_problem(k=4, rows=1000):
+    dag = build_dag(chain_view(k, aggregate=True))
+    catalog = Catalog(
+        {
+            f"R{i}": TableStats(
+                float(rows),
+                {f"K{i-1}": float(rows) * 0.9, f"K{i}": float(rows), f"V{i}": 100.0},
+            )
+            for i in range(1, k + 1)
+        }
+    )
+    estimator = DagEstimator(dag.memo, catalog)
+    cost_model = PageIOCostModel(
+        dag.memo, estimator, CostConfig(charge_root_update=False, root_group=dag.root)
+    )
+    txns = (
+        modify_txn(">R1", "R1", {"V1"}, weight=3.0),
+        modify_txn(f">R{k}", f"R{k}", {f"V{k}"}, weight=1.0),
+    )
+    return dag, txns, cost_model, estimator
+
+
+def run_strategies(problem):
+    dag, txns, cost_model, estimator = problem
+    out = {}
+    exhaustive = optimal_view_set(
+        dag, txns, cost_model, estimator, max_candidates=14
+    )
+    out["exhaustive"] = (exhaustive.best.weighted_cost, len(exhaustive.evaluated))
+    shielded = optimal_view_set(
+        dag, txns, cost_model, estimator, shielding=True, max_candidates=14
+    )
+    out["shielded"] = (shielded.best.weighted_cost, len(shielded.evaluated))
+    tree = heuristic_single_tree(dag, txns, cost_model, estimator)
+    out["single-tree"] = (tree.best.weighted_cost, len(tree.evaluated))
+    single = heuristic_single_view_set(dag, txns, cost_model, estimator)
+    out["single-set"] = (single.weighted_cost, 2)
+    greedy = greedy_view_set(dag, txns, cost_model, estimator)
+    out["greedy"] = (greedy.best.weighted_cost, len(greedy.evaluated))
+    approx = approximate_view_set(dag, txns, cost_model, estimator, max_candidates=14)
+    exact = evaluate_view_set(
+        dag.memo, approx.best_marking, txns, cost_model, estimator
+    )
+    out["approx-costing"] = (exact.weighted_cost, 0)
+    nothing = evaluate_view_set(
+        dag.memo, frozenset({dag.root}), txns, cost_model, estimator
+    )
+    out["nothing"] = (nothing.weighted_cost, 1)
+    return out
+
+
+@pytest.mark.parametrize("which", ["paper", "chain4"])
+def test_heuristic_space(
+    benchmark, which, paper_dag, paper_txns, paper_cost_model, paper_estimator
+):
+    if which == "paper":
+        problem = paper_problem(
+            paper_dag, paper_txns, paper_cost_model, paper_estimator
+        )
+    else:
+        problem = chain_problem()
+    results = benchmark.pedantic(
+        run_strategies, args=(problem,), rounds=1, iterations=1
+    )
+    rows = [
+        [name, f"{cost:.2f}", str(evaluated)]
+        for name, (cost, evaluated) in sorted(results.items(), key=lambda kv: kv[1][0])
+    ]
+    emit(format_table(
+        f"E2 — heuristic space on {which} (weighted I/Os, sets costed)",
+        ["strategy", "cost", "view sets costed"],
+        rows,
+    ))
+    best = results["exhaustive"][0]
+    # Quality ordering: exhaustive ≤ every heuristic ≤ nothing.
+    for name, (cost, _) in results.items():
+        assert cost >= best - 1e-9, name
+        assert cost <= results["nothing"][0] + 1e-9, name
+    # Shielded equals exhaustive with no more work.
+    assert results["shielded"][0] == best
+    assert results["shielded"][1] <= results["exhaustive"][1]
+    # Greedy and single-tree cost far fewer evaluations on the chain.
+    if which == "chain4":
+        assert results["greedy"][1] < results["exhaustive"][1]

@@ -1,0 +1,103 @@
+"""Experiment E6 — the space-for-time curve (the paper's title, quantified).
+
+Sweeps a storage budget for auxiliary views on the paper's example and on a
+5-relation chain join, reporting the best achievable weighted maintenance
+cost at each budget. The curve must be monotone non-increasing, drop
+sharply once the cheap high-benefit view (SumOfSals: 2000 pages for a
+3.4× speedup) fits, and flatten once nothing else helps.
+"""
+
+import pytest
+from conftest import emit, format_table
+
+from repro.core.space import marking_space, space_time_curve
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import build_dag
+from repro.storage.statistics import Catalog, TableStats
+from repro.workload.generators import chain_view
+from repro.workload.transactions import modify_txn
+
+PAPER_BUDGETS = (0, 500, 1000, 2000, 5000, 25000)
+
+
+def paper_curve(paper_dag, paper_txns, paper_cost_model, paper_estimator):
+    return space_time_curve(
+        paper_dag,
+        paper_txns,
+        paper_cost_model,
+        paper_estimator,
+        budgets=PAPER_BUDGETS,
+    )
+
+
+def chain_curve(k=5, rows=1000):
+    dag = build_dag(chain_view(k, aggregate=True))
+    catalog = Catalog(
+        {
+            f"R{i}": TableStats(
+                float(rows),
+                {f"K{i-1}": float(rows) * 0.9, f"K{i}": float(rows), f"V{i}": 100.0},
+            )
+            for i in range(1, k + 1)
+        }
+    )
+    estimator = DagEstimator(dag.memo, catalog)
+    cost_model = PageIOCostModel(
+        dag.memo, estimator, CostConfig(charge_root_update=False, root_group=dag.root)
+    )
+    txns = (
+        modify_txn(">R1", "R1", {"V1"}),
+        modify_txn(f">R{k}", f"R{k}", {f"V{k}"}),
+    )
+    return space_time_curve(
+        dag,
+        txns,
+        cost_model,
+        estimator,
+        budgets=(0, 2000, 4000, 8000, 100000),
+        exhaustive=False,
+    )
+
+
+def test_space_time_curve(
+    benchmark, paper_dag, paper_txns, paper_cost_model, paper_estimator
+):
+    paper, chain = benchmark.pedantic(
+        lambda: (
+            paper_curve(paper_dag, paper_txns, paper_cost_model, paper_estimator),
+            chain_curve(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [f"{p['budget']:g}", f"{p['cost']:g}", f"{p['space_used']:g}", f"{p['views']:g}"]
+        for p in paper
+    ]
+    emit(format_table(
+        "E6a — space-for-time curve, paper example (pages / page I/Os per txn)",
+        ["budget", "cost", "space used", "aux views"],
+        rows,
+    ))
+    rows = [
+        [f"{p['budget']:g}", f"{p['cost']:g}", f"{p['space_used']:g}", f"{p['views']:g}"]
+        for p in chain
+    ]
+    emit(format_table(
+        "E6b — space-for-time curve, 5-chain join (greedy)",
+        ["budget", "cost", "space used", "aux views"],
+        rows,
+    ))
+    paper_costs = [p["cost"] for p in paper]
+    assert paper_costs == sorted(paper_costs, reverse=True)
+    assert paper_costs[0] == 12.0  # no space: no auxiliary views
+    # The knee: SumOfSals (2000 pages incl. index) buys the full win.
+    knee = next(p for p in paper if p["budget"] == 2000)
+    assert knee["cost"] == 3.5
+    assert paper_costs[-1] == 3.5  # more space buys nothing further
+    chain_costs = [p["cost"] for p in chain]
+    assert chain_costs == sorted(chain_costs, reverse=True)
+    for p in paper + chain:
+        assert p["space_used"] <= p["budget"]

@@ -1,0 +1,47 @@
+"""Table T2 — Section 3.6 materialization (update) cost table M[N, j].
+
+Paper (page I/Os for applying a transaction's delta to a materialized
+node; blank entries are zero — the node is unaffected)::
+
+            {N3}        {N4}
+    >Emp       3           3
+    >Dept      0          21
+"""
+
+from conftest import emit, format_table
+
+PAPER = {
+    ("N3", ">Emp"): 3.0,
+    ("N3", ">Dept"): 0.0,
+    ("N4", ">Emp"): 3.0,
+    ("N4", ">Dept"): 21.0,
+}
+
+
+def compute_update_costs(paper_groups, paper_txns, paper_cost_model):
+    table = {}
+    for node in ("N3", "N4"):
+        for txn in paper_txns:
+            table[(node, txn.name)] = paper_cost_model.update_cost(
+                paper_groups[node], txn
+            )
+    return table
+
+
+def test_table2_update_costs(
+    benchmark, paper_groups, paper_txns, paper_cost_model
+):
+    table = benchmark(
+        compute_update_costs, paper_groups, paper_txns, paper_cost_model
+    )
+    rows = [
+        [txn, f"{table[('N3', txn)]:g}", f"{table[('N4', txn)]:g}"]
+        for txn in (">Emp", ">Dept")
+    ]
+    emit(format_table(
+        "T2 — update costs M[N, j] (page I/Os), paper §3.6",
+        ["txn", "N3", "N4"],
+        rows,
+    ))
+    for key, expected in PAPER.items():
+        assert table[key] == expected, f"{key}: got {table[key]}"

@@ -1,0 +1,89 @@
+"""Table T3 — Section 3.6 update-track query-cost table.
+
+Paper (total query cost along each track, per view set)::
+
+    track                          txn      {}   {N3}  {N4}
+    N1,E1,N2,E2,N3,E4,N5          >Emp     13      2    13
+    N1,E1,N2,E3,N4,E5,N5          >Emp     15     15    13
+    N1,E1,N2,E2,N6                >Dept    11      2    11
+    N1,E1,N2,E3,N4,E5,N6          >Dept    11     11    11
+
+The first and third rows are the paper's E2-route (through SumOfSals); the
+second and fourth the E3-route (through the base join). Row 2 is 15 (=
+Q5Re 2 + Q3e 13) — the paper's table prints the per-query entries; the
+route's minimum per transaction (13 / 11) matches the paper's combined
+table exactly. Q3d contributes nothing on row 4 (key-based elimination).
+"""
+
+from conftest import emit, format_table
+
+from repro.core.tracks import enumerate_tracks, track_ops
+from repro.dag.queries import derive_queries
+
+EXPECTED = {
+    (">Emp", "E2-route"): {"{}": 13.0, "{N3}": 2.0, "{N4}": 13.0},
+    (">Emp", "E3-route"): {"{}": 15.0, "{N3}": 15.0, "{N4}": 13.0},
+    (">Dept", "E2-route"): {"{}": 11.0, "{N3}": 2.0, "{N4}": 11.0},
+    (">Dept", "E3-route"): {"{}": 11.0, "{N3}": 11.0, "{N4}": 11.0},
+}
+
+
+def _route_of(track, paper_ops):
+    ops = {op.id for op in track.values()}
+    return "E2-route" if paper_ops["E2"].id in ops else "E3-route"
+
+
+def compute_track_costs(
+    paper_dag, paper_ops, paper_txns, paper_cost_model, paper_estimator, paper_view_sets
+):
+    memo = paper_dag.memo
+    table = {}
+    for txn in paper_txns:
+        for track in enumerate_tracks(
+            memo, [paper_dag.root], txn, paper_estimator
+        ):
+            route = _route_of(track, paper_ops)
+            for vs_label, marking in paper_view_sets.items():
+                queries = []
+                for op in track_ops(track):
+                    queries.extend(
+                        derive_queries(memo, op, txn, marking, paper_estimator)
+                    )
+                cost = paper_cost_model.total_query_cost(queries, marking, txn)
+                table[(txn.name, route, vs_label)] = cost
+    return table
+
+
+def test_table3_track_costs(
+    benchmark,
+    paper_dag,
+    paper_ops,
+    paper_txns,
+    paper_cost_model,
+    paper_estimator,
+    paper_view_sets,
+):
+    table = benchmark(
+        compute_track_costs,
+        paper_dag,
+        paper_ops,
+        paper_txns,
+        paper_cost_model,
+        paper_estimator,
+        paper_view_sets,
+    )
+    rows = []
+    for (txn, route), per_vs in EXPECTED.items():
+        rows.append(
+            [route, txn]
+            + [f"{table[(txn, route, vs)]:g}" for vs in ("{}", "{N3}", "{N4}")]
+        )
+    emit(format_table(
+        "T3 — update-track query costs (page I/Os), paper §3.6",
+        ["track", "txn", "{}", "{N3}", "{N4}"],
+        rows,
+    ))
+    for (txn, route), per_vs in EXPECTED.items():
+        for vs, expected in per_vs.items():
+            got = table[(txn, route, vs)]
+            assert got == expected, f"{txn}/{route}/{vs}: got {got}, expected {expected}"

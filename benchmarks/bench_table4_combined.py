@@ -1,0 +1,80 @@
+"""Table T4 — Section 3.6 combined (query + update) costs, plus headline.
+
+Paper::
+
+            {}   {N3}  {N4}
+    >Emp    13      5    16
+    >Dept   11      2    32
+
+Headline: with equal weights, {N3} averages 3.5 page I/Os per transaction
+vs 12 for no additional views — "a reduction to about 30% of the cost";
+{N4} is worse than {} for every weighting.
+"""
+
+import pytest
+from conftest import emit, format_table
+
+from repro.core.optimizer import evaluate_view_set
+
+PAPER = {
+    ("{}", ">Emp"): 13.0, ("{}", ">Dept"): 11.0,
+    ("{N3}", ">Emp"): 5.0, ("{N3}", ">Dept"): 2.0,
+    ("{N4}", ">Emp"): 16.0, ("{N4}", ">Dept"): 32.0,
+}
+
+
+def compute_combined(paper_dag, paper_txns, paper_cost_model, paper_estimator,
+                     paper_view_sets):
+    return {
+        label: evaluate_view_set(
+            paper_dag.memo, marking, paper_txns, paper_cost_model, paper_estimator
+        )
+        for label, marking in paper_view_sets.items()
+    }
+
+
+def test_table4_combined(
+    benchmark,
+    paper_dag,
+    paper_txns,
+    paper_cost_model,
+    paper_estimator,
+    paper_view_sets,
+):
+    evaluations = benchmark(
+        compute_combined,
+        paper_dag,
+        paper_txns,
+        paper_cost_model,
+        paper_estimator,
+        paper_view_sets,
+    )
+    rows = []
+    for txn in (">Emp", ">Dept"):
+        rows.append(
+            [txn]
+            + [f"{evaluations[vs].per_txn[txn].total:g}" for vs in ("{}", "{N3}", "{N4}")]
+        )
+    rows.append(
+        ["weighted"]
+        + [f"{evaluations[vs].weighted_cost:g}" for vs in ("{}", "{N3}", "{N4}")]
+    )
+    emit(format_table(
+        "T4 — combined maintenance costs (page I/Os), paper §3.6",
+        ["txn", "{}", "{N3}", "{N4}"],
+        rows,
+    ))
+    for (vs, txn), expected in PAPER.items():
+        got = evaluations[vs].per_txn[txn].total
+        assert got == expected, f"{vs}/{txn}: got {got}, expected {expected}"
+    # Headline numbers.
+    assert evaluations["{N3}"].weighted_cost == 3.5
+    assert evaluations["{}"].weighted_cost == 12.0
+    ratio = evaluations["{N3}"].weighted_cost / evaluations["{}"].weighted_cost
+    assert ratio == pytest.approx(0.2917, abs=1e-3)  # "about 30%"
+    # {N4} loses to {} for every weighting (dominates per transaction).
+    for txn in (">Emp", ">Dept"):
+        assert (
+            evaluations["{N4}"].per_txn[txn].total
+            > evaluations["{}"].per_txn[txn].total
+        )

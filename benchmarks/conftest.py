@@ -1,0 +1,135 @@
+"""Shared benchmark fixtures and table rendering.
+
+Each benchmark regenerates one table or figure of the paper (see
+DESIGN.md's experiment index), printing the reproduced rows (captured into
+``bench_output.txt`` by the top-level run) and asserting the paper's values
+where the cost model is fully specified.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.algebra.operators import GroupAggregate, Join
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import build_dag
+from repro.storage.statistics import Catalog
+from repro.workload.paperdb import problem_dept_tree
+from repro.workload.transactions import paper_transactions
+
+
+def format_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    lines = [title, fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+_OUTPUT_DIR = Path(__file__).parent / "output"
+_RESULTS_FILE = _OUTPUT_DIR / "reproduced_tables.txt"
+_session_started = False
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table (shown with -s) and persist it to
+    benchmarks/output/reproduced_tables.txt for the record."""
+    global _session_started
+    print("\n" + text + "\n")
+    _OUTPUT_DIR.mkdir(exist_ok=True)
+    mode = "a" if _session_started else "w"
+    _session_started = True
+    with open(_RESULTS_FILE, mode) as f:
+        f.write(text + "\n\n")
+
+
+@pytest.fixture(scope="session")
+def paper_dag():
+    return build_dag(problem_dept_tree())
+
+
+@pytest.fixture(scope="session")
+def paper_estimator(paper_dag):
+    return DagEstimator(paper_dag.memo, Catalog.paper_catalog())
+
+
+@pytest.fixture(scope="session")
+def paper_cost_model(paper_dag, paper_estimator):
+    return PageIOCostModel(
+        paper_dag.memo,
+        paper_estimator,
+        CostConfig(charge_root_update=False, root_group=paper_dag.root),
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_txns():
+    return paper_transactions()
+
+
+@pytest.fixture(scope="session")
+def paper_groups(paper_dag):
+    """Figure 2 node handles, named with the paper's labels."""
+    memo = paper_dag.memo
+    handles = {
+        "Emp": memo.leaf_group_id("Emp"),
+        "Dept": memo.leaf_group_id("Dept"),
+        "root": paper_dag.root,
+    }
+    for group in memo.groups():
+        if group.is_leaf:
+            continue
+        names = set(group.schema.names)
+        labels = [op.label() for op in group.ops]
+        if "Salary" in names and any(l.startswith("Join") for l in labels):
+            handles["N4"] = group.id  # Emp ⋈ Dept
+        elif names == {"Budget", "DName", "SalSum"} and any(
+            l.startswith("Select") for l in labels
+        ):
+            handles["N1"] = group.id  # σ(SumSal > Budget)
+        elif names == {"Budget", "DName", "SalSum"}:
+            handles["N2"] = group.id  # γ by (DName, Budget)
+        elif names == {"DName", "SalSum"}:
+            handles["N3"] = group.id  # SumOfSals
+    return handles
+
+
+@pytest.fixture(scope="session")
+def paper_ops(paper_dag, paper_groups):
+    """Figure 2 operation-node handles: E2 (join above), E3/E4 (aggregates),
+    E5 (base join)."""
+    memo = paper_dag.memo
+
+    def op_of(gid, kind):
+        for op in memo.group(gid).ops:
+            if isinstance(op.template, kind):
+                return op
+        raise AssertionError(f"no {kind.__name__} op in group {gid}")
+
+    return {
+        "E2": op_of(paper_groups["N2"], Join),  # join with SumOfSals
+        "E3": op_of(paper_groups["N2"], GroupAggregate),
+        "E4": op_of(paper_groups["N3"], GroupAggregate),
+        "E5": op_of(paper_groups["N4"], Join),  # Emp ⋈ Dept
+    }
+
+
+@pytest.fixture(scope="session")
+def paper_view_sets(paper_dag, paper_groups):
+    """The three view sets of Section 3.6: ∅, {N3}, {N4} (root always)."""
+    root = paper_dag.root
+    return {
+        "{}": frozenset({root}),
+        "{N3}": frozenset({root, paper_groups["N3"]}),
+        "{N4}": frozenset({root, paper_groups["N4"]}),
+    }

@@ -1,0 +1,5 @@
+CREATE VIEW ProblemDept (DName) AS
+SELECT Dept.DName FROM Emp, Dept
+WHERE Dept.DName = Emp.DName
+GROUPBY Dept.DName, Budget
+HAVING SUM(Salary) > Budget

@@ -1,0 +1,262 @@
+"""Equivalence rules for DAG expansion (Section 2.1 / footnote 1 of the paper).
+
+A rule maps an expression (whose root matches the rule's pattern) to zero or
+more algebraically equivalent expressions. The DAG expander
+(:mod:`repro.dag.expand`) feeds rules *shallow* trees whose leaves are
+equivalence-class placeholders, so rules only inspect one or two operator
+levels plus schemas.
+
+A produced expression may have an output schema that is a *superset* of the
+original's: the expression DAG applies an implicit (free) projection onto the
+equivalence class's schema. Each rule guarantees that the projected multiset
+equals the original — the conditions below (keys on join columns, grouping
+containing join columns) are exactly what makes that true; they follow
+Yan & Larson's aggregate push-down conditions, which the paper cites for
+generating its Figure 1 alternatives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.algebra.operators import (
+    GroupAggregate,
+    Join,
+    RelExpr,
+    Select,
+)
+from repro.algebra.predicates import Predicate, conjunction
+from repro.algebra.schema import Schema
+
+
+class Rule:
+    """Base class for transformation rules."""
+
+    name: str = "rule"
+
+    def apply(self, expr: RelExpr) -> Iterable[RelExpr]:
+        """Yield equivalent expressions (possibly with superset schemas)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.name}>"
+
+
+def _covers(predicate: Predicate, schema: Schema) -> bool:
+    """Whether every column the predicate mentions resolves in ``schema``."""
+    return all(name in schema for name in predicate.columns())
+
+
+class PushSelectBelowJoin(Rule):
+    """σ_p(L ⋈ R) → σ_rest(σ_p'(L) ⋈ R): push conjuncts that mention only
+    one side's columns below the join.
+
+    Join columns are shared, so a conjunct over join columns alone pushes to
+    either side; we push it left to keep the search space finite.
+    """
+
+    name = "push-select-below-join"
+
+    def apply(self, expr: RelExpr) -> Iterable[RelExpr]:
+        if not isinstance(expr, Select) or not isinstance(expr.input, Join):
+            return
+        join = expr.input
+        left_schema, right_schema = join.left.schema, join.right.schema
+        left_parts: list[Predicate] = []
+        right_parts: list[Predicate] = []
+        rest: list[Predicate] = []
+        for part in expr.predicate.conjuncts():
+            if _covers(part, left_schema):
+                left_parts.append(part)
+            elif _covers(part, right_schema):
+                right_parts.append(part)
+            else:
+                rest.append(part)
+        if not left_parts and not right_parts:
+            return
+        new_left = join.left
+        if left_parts:
+            new_left = Select(new_left, conjunction(left_parts))
+        new_right = join.right
+        if right_parts:
+            new_right = Select(new_right, conjunction(right_parts))
+        pushed = Join(new_left, new_right, join.residual, join.allow_cartesian)
+        if rest:
+            yield Select(pushed, conjunction(rest))
+        else:
+            yield pushed
+
+
+class PullSelectAboveJoin(Rule):
+    """σ_p(L) ⋈ R → σ_p(L ⋈ R): the inverse direction, so the expander can
+    reach join orders hidden behind pushed selections."""
+
+    name = "pull-select-above-join"
+
+    def apply(self, expr: RelExpr) -> Iterable[RelExpr]:
+        if not isinstance(expr, Join):
+            return
+        if isinstance(expr.left, Select):
+            inner = Join(expr.left.input, expr.right, expr.residual, expr.allow_cartesian)
+            yield Select(inner, expr.left.predicate)
+        if isinstance(expr.right, Select):
+            inner = Join(expr.left, expr.right.input, expr.residual, expr.allow_cartesian)
+            yield Select(inner, expr.right.predicate)
+
+
+class MergeSelects(Rule):
+    """σ_p(σ_q(X)) → σ_{p∧q}(X)."""
+
+    name = "merge-selects"
+
+    def apply(self, expr: RelExpr) -> Iterable[RelExpr]:
+        if isinstance(expr, Select) and isinstance(expr.input, Select):
+            yield Select(
+                expr.input.input, conjunction([expr.predicate, expr.input.predicate])
+            )
+
+
+class JoinAssociate(Rule):
+    """(A ⋈ B) ⋈ C → A ⋈ (B ⋈ C).
+
+    Natural join is associative; we only produce the re-association when the
+    inner pair shares columns (no implicit cartesian products). Together with
+    the unordered treatment of join operands in the DAG this reaches all
+    bushy join orders.
+    """
+
+    name = "join-associate"
+
+    def apply(self, expr: RelExpr) -> Iterable[RelExpr]:
+        if not isinstance(expr, Join) or expr.residual.conjuncts():
+            return
+        for outer_left, outer_right in ((expr.left, expr.right), (expr.right, expr.left)):
+            if not isinstance(outer_left, Join) or outer_left.residual.conjuncts():
+                continue
+            a, b, c = outer_left.left, outer_left.right, outer_right
+            for first, second in ((a, b), (b, a)):
+                shared = set(second.schema.names) & set(c.schema.names)
+                if not shared:
+                    continue
+                inner = Join(second, c)
+                outer_shared = set(first.schema.names) & set(inner.schema.names)
+                if not outer_shared:
+                    continue
+                yield Join(first, inner)
+
+
+def _group_key_of(schema: Schema, attrs: Sequence[str]) -> bool:
+    return schema.has_key(attrs)
+
+
+class PushAggregateBelowJoin(Rule):
+    """γ_{G; aggs}(L ⋈ R) → γ_{(G∩L)∪jc; aggs}(L) ⋈ R (implicitly projected).
+
+    This is the rule that derives the paper's Figure 1 right-hand tree (and
+    hence the auxiliary view SumOfSals / N3) from the left-hand one.
+
+    Soundness conditions (each final group corresponds to exactly one
+    pre-aggregated group of L joined with at most one R tuple):
+
+    * every aggregate argument references only ``L`` columns;
+    * the join columns ``jc`` are all in the grouping set ``G``;
+    * ``jc`` contains a key of ``R`` (so no multiplicity scaling from R).
+
+    The result's schema additionally contains R's non-grouped columns; the
+    DAG's implicit projection removes them.
+    """
+
+    name = "push-aggregate-below-join"
+
+    def apply(self, expr: RelExpr) -> Iterable[RelExpr]:
+        if not isinstance(expr, GroupAggregate) or not isinstance(expr.input, Join):
+            return
+        join = expr.input
+        if join.residual.conjuncts():
+            return
+        jc = set(join.join_columns)
+        group = set(expr.group_by)
+        if not jc <= group:
+            return
+        for side, other in ((join.left, join.right), (join.right, join.left)):
+            if not other.schema.has_key(jc):
+                continue
+            side_cols = set(side.schema.names)
+            arg_cols: set[str] = set()
+            for agg in expr.aggregates:
+                if agg.arg is not None:
+                    arg_cols |= agg.arg.columns()
+            if not arg_cols <= side_cols:
+                continue
+            inner_group = tuple(sorted((group & side_cols) | jc))
+            # Aggregate output names must not collide with the other side's
+            # columns that survive the join.
+            out_names = {a.out for a in expr.aggregates}
+            if out_names & set(other.schema.names) or out_names & set(inner_group):
+                continue
+            pre = GroupAggregate(side, inner_group, expr.aggregates)
+            yield Join(pre, other)
+
+
+class PullAggregateAboveJoin(Rule):
+    """γ_{G; aggs}(L) ⋈ R → γ_{G∪cols(R); aggs}(L ⋈ R): lazy aggregation,
+    the inverse of :class:`PushAggregateBelowJoin`.
+
+    Applied when a view is *written* in the pre-aggregated form (e.g.
+    SumOfSals ⋈ Dept), this re-derives the aggregate-over-join alternative
+    so the DAG reaches the same equivalence class either way. Conditions
+    mirror the push-down rule's: the join columns lie inside the grouping
+    set and contain a key of R (one R tuple per group, no multiplicity
+    scaling), and R's columns don't collide with the aggregate outputs.
+    """
+
+    name = "pull-aggregate-above-join"
+
+    def apply(self, expr: RelExpr) -> Iterable[RelExpr]:
+        if not isinstance(expr, Join) or expr.residual.conjuncts():
+            return
+        for agg_side, other in ((expr.left, expr.right), (expr.right, expr.left)):
+            if not isinstance(agg_side, GroupAggregate):
+                continue
+            agg = agg_side
+            jc = set(agg.schema.names) & set(other.schema.names)
+            group = set(agg.group_by)
+            if not jc or not jc <= group:
+                continue
+            if not other.schema.has_key(jc):
+                continue
+            out_names = {a.out for a in agg.aggregates}
+            if out_names & set(other.schema.names):
+                continue
+            # The inner join must equate exactly the same columns: if the
+            # aggregate's input shares extra (grouped-away) columns with R,
+            # pulling the aggregate up would change the join condition.
+            if set(agg.input.schema.names) & set(other.schema.names) != jc:
+                continue
+            inner = Join(agg.input, other)
+            new_group = tuple(sorted(group | set(other.schema.names)))
+            yield GroupAggregate(inner, new_group, agg.aggregates)
+
+
+def default_rules(
+    enable_pull: bool = False, enable_lazy_aggregation: bool = False
+) -> tuple[Rule, ...]:
+    """The standard rule set.
+
+    ``PullSelectAboveJoin`` and ``PullAggregateAboveJoin`` enlarge the DAG
+    (the latter adds alternatives that are redundant modulo functional
+    dependencies when the view is already written in the lazy form); both
+    are opt-in and used where a view is *defined* in the pushed-down shape
+    and the search should recover the canonical one.
+    """
+    rules: list[Rule] = [
+        MergeSelects(),
+        PushSelectBelowJoin(),
+        JoinAssociate(),
+        PushAggregateBelowJoin(),
+    ]
+    if enable_lazy_aggregation:
+        rules.append(PullAggregateAboveJoin())
+    if enable_pull:
+        rules.append(PullSelectAboveJoin())
+    return tuple(rules)

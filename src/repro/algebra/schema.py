@@ -1,0 +1,157 @@
+"""Schemas: ordered, named, typed columns plus key metadata.
+
+Keys matter for this paper: the Yan–Larson style aggregate push-down rule and
+the delta-completeness analysis (the reason query Q3d in Section 3.6 costs no
+I/O) are licensed by declared keys, e.g. ``DName`` being a key of ``Dept``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.algebra.types import DataType, TypeError_, check_value
+
+
+class SchemaError(Exception):
+    """Raised for malformed schemas or column-resolution failures."""
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.dtype.value}"
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of columns with optional candidate keys.
+
+    Column names must be unique. Qualified names (``Emp.Salary``) are resolved
+    by suffix match so that translated SQL can refer to columns either way.
+    """
+
+    columns: tuple[Column, ...]
+    keys: frozenset[frozenset[str]] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names: {dupes}")
+        for key in self.keys:
+            missing = set(key) - set(names)
+            if missing:
+                raise SchemaError(f"key {sorted(key)} references unknown columns {sorted(missing)}")
+
+    # -- construction helpers ------------------------------------------------
+
+    @staticmethod
+    def of(*cols: tuple[str, DataType] | Column, keys: Iterable[Iterable[str]] = ()) -> "Schema":
+        """Build a schema from ``(name, dtype)`` pairs or Column objects."""
+        built = tuple(c if isinstance(c, Column) else Column(c[0], c[1]) for c in cols)
+        return Schema(built, frozenset(frozenset(k) for k in keys))
+
+    # -- lookup ----------------------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.resolve(name)
+        except SchemaError:
+            return False
+        return True
+
+    def index_of(self, name: str) -> int:
+        """Position of ``name`` (qualified or bare) in the schema."""
+        resolved = self.resolve(name)
+        for i, col in enumerate(self.columns):
+            if col.name == resolved:
+                return i
+        raise SchemaError(f"unreachable: {resolved}")  # pragma: no cover
+
+    def resolve(self, name: str) -> str:
+        """Resolve a possibly-qualified column reference to the schema name.
+
+        Exact matches win; otherwise a unique suffix match after the final
+        ``.`` is accepted (``Salary`` matches ``Emp.Salary``) and vice versa
+        (``Emp.Salary`` matches a column stored as ``Salary`` only when no
+        exact match exists and exactly one column has that suffix).
+        """
+        names = self.names
+        if name in names:
+            return name
+        bare = name.rsplit(".", 1)[-1]
+        candidates = [n for n in names if n == bare or n.rsplit(".", 1)[-1] == bare]
+        if len(candidates) == 1:
+            return candidates[0]
+        if not candidates:
+            raise SchemaError(f"no column {name!r} in schema {list(names)}")
+        raise SchemaError(f"ambiguous column {name!r}: matches {candidates}")
+
+    def dtype_of(self, name: str) -> DataType:
+        return self.columns[self.index_of(name)].dtype
+
+    # -- key reasoning ---------------------------------------------------------
+
+    def has_key(self, attrs: Iterable[str]) -> bool:
+        """Whether some declared candidate key is contained in ``attrs``."""
+        resolved = {self.resolve(a) for a in attrs}
+        return any(key <= resolved for key in self.keys)
+
+    # -- derivation -------------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema restricted (and reordered) to ``names``; keys kept if intact."""
+        resolved = [self.resolve(n) for n in names]
+        cols = tuple(self.columns[self.index_of(n)] for n in resolved)
+        kept = frozenset(k for k in self.keys if k <= set(resolved))
+        return Schema(cols, kept)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Schema":
+        """Rename columns; keys are rewritten through the mapping."""
+        resolved = {self.resolve(old): new for old, new in mapping.items()}
+        cols = tuple(Column(resolved.get(c.name, c.name), c.dtype) for c in self.columns)
+        keys = frozenset(frozenset(resolved.get(a, a) for a in key) for key in self.keys)
+        return Schema(cols, keys)
+
+    def concat(self, other: "Schema", extra_keys: Iterable[Iterable[str]] = ()) -> "Schema":
+        """Concatenate two schemas (join output); caller supplies result keys."""
+        keys = frozenset(frozenset(k) for k in extra_keys)
+        return Schema(self.columns + other.columns, keys)
+
+    # -- tuples ------------------------------------------------------------------
+
+    def validate_tuple(self, values: Sequence[Any]) -> tuple[Any, ...]:
+        """Type-check a tuple against the schema, returning a normalized tuple."""
+        if len(values) != len(self.columns):
+            raise TypeError_(
+                f"tuple arity {len(values)} does not match schema arity {len(self.columns)}"
+            )
+        return tuple(check_value(v, c.dtype) for v, c in zip(values, self.columns))
+
+    def as_dict(self, values: Sequence[Any]) -> dict[str, Any]:
+        """View a tuple as a column-name → value mapping."""
+        return dict(zip(self.names, values))
+
+    def __str__(self) -> str:
+        cols = ", ".join(str(c) for c in self.columns)
+        return f"({cols})"

@@ -1,0 +1,72 @@
+"""Expression-tree utilities: pretty printing, rewriting, inspection.
+
+An *expression tree* in the paper's sense is just a :class:`RelExpr`; these
+helpers render them (Figure 1 style), rewrite subtrees, and answer simple
+structural questions used by rules and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.algebra.operators import RelExpr, Scan
+
+
+def render_tree(expr: RelExpr, indent: str = "  ") -> str:
+    """Render an expression tree as indented text (root first).
+
+    >>> from repro.workload.paperdb import problem_dept_tree
+    >>> print(render_tree(problem_dept_tree()))  # doctest: +SKIP
+    Project(DName)
+      Select(SumSal > Dept.Budget)
+        Aggregate(...)
+          Join(Dept.DName=Emp.DName)
+            Dept
+            Emp
+    """
+    lines: list[str] = []
+
+    def visit(node: RelExpr, depth: int) -> None:
+        lines.append(f"{indent * depth}{node.label()}")
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(expr, 0)
+    return "\n".join(lines)
+
+
+def rewrite_bottom_up(expr: RelExpr, fn: Callable[[RelExpr], RelExpr]) -> RelExpr:
+    """Rebuild the tree bottom-up, applying ``fn`` at every node.
+
+    ``fn`` receives a node whose children have already been rewritten and
+    returns a replacement (or the node itself).
+    """
+    children = tuple(rewrite_bottom_up(c, fn) for c in expr.children)
+    if children != expr.children:
+        expr = expr.with_children(children)
+    return fn(expr)
+
+
+def subexpressions(expr: RelExpr) -> list[RelExpr]:
+    """All distinct subexpressions, children before parents."""
+    seen: dict[RelExpr, None] = {}
+
+    def visit(node: RelExpr) -> None:
+        if node in seen:
+            return
+        for child in node.children:
+            visit(child)
+        seen[node] = None
+
+    visit(expr)
+    return list(seen)
+
+
+def depends_on(expr: RelExpr, relation: str) -> bool:
+    """Whether ``expr`` mentions the base relation ``relation``."""
+    return relation in expr.base_relations()
+
+
+def scan_nodes(expr: RelExpr) -> list[Scan]:
+    """All Scan leaves in tree order (with duplicates, as in the tree)."""
+    return [node for node in expr.walk() if isinstance(node, Scan)]

@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``demo`` — the paper's running example end to end (optimize + execute);
+* ``advise`` — read view/assertion DDL and a workload description, print a
+  materialization advisor report.
+
+The ``advise`` workload file is a small text format, one directive per
+line::
+
+    table Emp rows=10000 distinct=EName:10000,DName:1000,Salary:40 key=EName
+    table Dept rows=1000 distinct=DName:1000,MName:1000,Budget:200 key=DName
+    txn >Emp weight=1 modify=Emp:1:Salary
+    txn Load weight=2 insert=Orders:10 delete=Orders:5
+
+Types are declared in the DDL file via the schemas block (see
+examples/advisor_input/ for a complete input pair).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.algebra.schema import Schema
+from repro.algebra.types import DataType
+from repro.core.heuristics import greedy_view_set
+from repro.core.optimizer import optimal_view_set
+from repro.core.report import render_report
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import build_dag
+from repro.sql.translate import translate_sql
+from repro.storage.statistics import Catalog, TableStats
+from repro.workload.transactions import TransactionType, UpdateSpec
+
+_TYPES = {
+    "int": DataType.INT,
+    "float": DataType.FLOAT,
+    "string": DataType.STRING,
+    "bool": DataType.BOOL,
+}
+
+
+class WorkloadParseError(Exception):
+    """Raised for malformed workload description files."""
+
+
+def parse_workload(text: str) -> tuple[dict[str, Schema], Catalog, list[TransactionType]]:
+    """Parse the table/txn directive format documented in the module
+    docstring. Column types default to ``string`` for key-looking names and
+    ``int`` otherwise unless annotated ``name:type:distinct``."""
+    schemas: dict[str, Schema] = {}
+    catalog = Catalog()
+    txns: list[TransactionType] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        kind = parts[0]
+        if kind == "table":
+            name = parts[1]
+            options = dict(p.split("=", 1) for p in parts[2:])
+            rows = float(options.get("rows", "1000"))
+            distinct: dict[str, float] = {}
+            columns = []
+            for spec in options.get("columns", options.get("distinct", "")).split(","):
+                if not spec:
+                    continue
+                fields = spec.split(":")
+                col = fields[0]
+                dtype = _TYPES.get(fields[1], None) if len(fields) >= 3 else None
+                count = float(fields[-1])
+                if dtype is None:
+                    dtype = DataType.STRING if count == rows else DataType.INT
+                columns.append((col, dtype))
+                distinct[col] = count
+            if not columns:
+                raise WorkloadParseError(f"table {name!r} declares no columns")
+            keys = []
+            if "key" in options:
+                keys = [options["key"].split(",")]
+            schemas[name] = Schema.of(*columns, keys=keys)
+            catalog.set(name, TableStats(rows, distinct))
+        elif kind == "txn":
+            name = parts[1]
+            options = [p for p in parts[2:]]
+            weight = 1.0
+            updates: dict[str, UpdateSpec] = {}
+            for option in options:
+                key, value = option.split("=", 1)
+                if key == "weight":
+                    weight = float(value)
+                    continue
+                fields = value.split(":")
+                rel = fields[0]
+                count = float(fields[1]) if len(fields) > 1 else 1.0
+                current = updates.get(rel, UpdateSpec())
+                if key == "modify":
+                    cols = frozenset(fields[2].split(",")) if len(fields) > 2 else frozenset()
+                    if not cols:
+                        raise WorkloadParseError(
+                            f"txn {name!r}: modify needs columns (rel:count:cols)"
+                        )
+                    updates[rel] = UpdateSpec(
+                        current.inserts, current.deletes, count, cols
+                    )
+                elif key == "insert":
+                    updates[rel] = UpdateSpec(
+                        count, current.deletes, current.modifies,
+                        current.modified_columns,
+                    )
+                elif key == "delete":
+                    updates[rel] = UpdateSpec(
+                        current.inserts, count, current.modifies,
+                        current.modified_columns,
+                    )
+                else:
+                    raise WorkloadParseError(f"unknown txn option {key!r}")
+            txns.append(TransactionType(name, updates, weight))
+        else:
+            raise WorkloadParseError(f"unknown directive {kind!r}")
+    if not schemas:
+        raise WorkloadParseError("no tables declared")
+    if not txns:
+        raise WorkloadParseError("no transaction types declared")
+    return schemas, catalog, txns
+
+
+def advise(
+    ddl: str,
+    workload: str,
+    exhaustive: bool = True,
+    charge_root: bool = False,
+    save_path: str | None = None,
+) -> str:
+    """Run the advisor on DDL + workload text; returns the report.
+
+    ``save_path`` persists the chosen plan as JSON (reload it with
+    :func:`repro.core.serialize.load_plan` against a rebuilt DAG)."""
+    schemas, catalog, txns = parse_workload(workload)
+    view = translate_sql(ddl, schemas)
+    dag = build_dag(view.expr)
+    estimator = DagEstimator(dag.memo, catalog)
+    cost_model = PageIOCostModel(
+        dag.memo,
+        estimator,
+        CostConfig(charge_root_update=charge_root, root_group=dag.root),
+    )
+    if exhaustive:
+        result = optimal_view_set(dag, txns, cost_model, estimator)
+    else:
+        result = greedy_view_set(dag, txns, cost_model, estimator)
+    if save_path is not None:
+        from repro.core.serialize import save_plan
+
+        save_plan(dag, result, save_path)
+    header = f"View {view.name!r}" + (" (assertion)" if view.is_assertion else "")
+    return header + "\n" + render_report(dag, result, txns, cost_model, estimator)
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.workload.paperdb import DEPT_SCHEMA, EMP_SCHEMA
+    from repro.workload.transactions import paper_transactions
+
+    ddl = """
+    CREATE VIEW ProblemDept (DName) AS
+    SELECT Dept.DName FROM Emp, Dept
+    WHERE Dept.DName = Emp.DName
+    GROUPBY Dept.DName, Budget
+    HAVING SUM(Salary) > Budget
+    """
+    view = translate_sql(ddl, {"Dept": DEPT_SCHEMA, "Emp": EMP_SCHEMA})
+    dag = build_dag(view.expr)
+    estimator = DagEstimator(dag.memo, Catalog.paper_catalog())
+    cost_model = PageIOCostModel(
+        dag.memo, estimator, CostConfig(root_group=dag.root)
+    )
+    txns = paper_transactions()
+    result = optimal_view_set(dag, txns, cost_model, estimator)
+    print(render_report(dag, result, txns, cost_model, estimator))
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    with open(args.view) as f:
+        ddl = f.read()
+    with open(args.workload) as f:
+        workload = f.read()
+    try:
+        print(
+            advise(
+                ddl,
+                workload,
+                exhaustive=not args.greedy,
+                charge_root=args.charge_root,
+                save_path=args.save,
+            )
+        )
+    except WorkloadParseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_shell(_args: argparse.Namespace) -> int:  # pragma: no cover - interactive
+    from repro.shell import run_repl
+
+    return run_repl()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Materialized-view maintenance advisor (SIGMOD 1996 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    demo = sub.add_parser("demo", help="run the paper's running example")
+    demo.set_defaults(func=_cmd_demo)
+    adv = sub.add_parser("advise", help="advise on a view + workload")
+    adv.add_argument("view", help="file with one CREATE VIEW / CREATE ASSERTION")
+    adv.add_argument("workload", help="workload description file")
+    adv.add_argument("--greedy", action="store_true", help="greedy search")
+    adv.add_argument(
+        "--charge-root", action="store_true",
+        help="include the top-level view's own update cost",
+    )
+    adv.add_argument(
+        "--save", metavar="PLAN.json", default=None,
+        help="persist the chosen plan as JSON for later reuse",
+    )
+    adv.set_defaults(func=_cmd_advise)
+    shell = sub.add_parser(
+        "shell", help="interactive SQL shell over a maintained database"
+    )
+    shell.set_defaults(func=_cmd_shell)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

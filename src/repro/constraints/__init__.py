@@ -1,0 +1,9 @@
+"""SQL-92 assertion (complex integrity constraint) checking."""
+
+from repro.constraints.assertions import (
+    AssertionSystem,
+    AssertionViolation,
+    CheckResult,
+)
+
+__all__ = ["AssertionSystem", "AssertionViolation", "CheckResult"]

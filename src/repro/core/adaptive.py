@@ -1,0 +1,218 @@
+"""Adaptive re-optimization under workload drift.
+
+The paper's optimizer takes transaction weights as given ("the relative
+frequency of the transaction type"). In a running system those frequencies
+drift, and the optimal auxiliary view set drifts with them. The
+:class:`AdaptiveMaintainer` closes the loop:
+
+* it executes transactions through an ordinary
+  :class:`~repro.ivm.maintainer.ViewMaintainer`, counting what it sees;
+* every ``window`` transactions it re-estimates the weights from the
+  observed mix, re-runs the view-set search, and — when the answer changes
+  and the projected savings outweigh the (amortized) migration cost —
+  re-materializes: new auxiliary views are built, obsolete ones dropped,
+  and the per-transaction update tracks replaced.
+
+Migration is charged honestly: building a view costs a scan of the
+cheapest way to compute it under the *current* marking (materialized
+sources help), dropping a view is free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.optimizer import optimal_view_set
+from repro.core.heuristics import greedy_view_set
+from repro.cost.estimates import DagEstimator
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import ViewDag
+from repro.ivm.maintainer import ViewMaintainer
+from repro.storage.database import Database
+from repro.workload.transactions import Transaction, TransactionType
+
+
+@dataclass
+class Reoptimization:
+    """Record of one adaptation step."""
+
+    at_txn: int
+    weights: dict[str, float]
+    old_marking: frozenset[int]
+    new_marking: frozenset[int]
+    projected_old_cost: float
+    projected_new_cost: float
+    migration_cost: float
+
+    @property
+    def switched(self) -> bool:
+        return self.old_marking != self.new_marking
+
+
+class AdaptiveMaintainer:
+    """Executes transactions and re-optimizes the view set as the observed
+    transaction mix drifts."""
+
+    def __init__(
+        self,
+        db: Database,
+        dag: ViewDag,
+        txns: Sequence[TransactionType],
+        estimator: DagEstimator,
+        cost_model: PageIOCostModel,
+        window: int = 50,
+        amortization_horizon: int | None = None,
+        exhaustive: bool = True,
+        min_weight: float = 0.05,
+        decay: float = 0.5,
+    ) -> None:
+        self.db = db
+        self.dag = dag
+        self.base_txns = list(txns)
+        self.estimator = estimator
+        self.cost_model = cost_model
+        self.window = window
+        self.horizon = amortization_horizon if amortization_horizon else 4 * window
+        self.exhaustive = exhaustive
+        self.min_weight = min_weight
+        self.decay = decay
+        self._counts: dict[str, float] = {t.name: 0.0 for t in txns}
+        self._seen = 0
+        self.history: list[Reoptimization] = []
+        self.maintainer = self._build_maintainer(self.base_txns)
+        self.maintainer.materialize()
+
+    # -- plan management ---------------------------------------------------------
+
+    def _reweighted(self) -> list[TransactionType]:
+        total = sum(self._counts.values())
+        txns = []
+        for txn in self.base_txns:
+            if total:
+                weight = max(self._counts[txn.name] / total, self.min_weight)
+            else:
+                weight = txn.weight
+            txns.append(TransactionType(txn.name, txn.updates, weight))
+        return txns
+
+    def _optimize(self, txns: Sequence[TransactionType]):
+        if self.exhaustive:
+            return optimal_view_set(
+                self.dag, txns, self.cost_model, self.estimator
+            )
+        return greedy_view_set(self.dag, txns, self.cost_model, self.estimator)
+
+    def _build_maintainer(self, txns: Sequence[TransactionType]) -> ViewMaintainer:
+        result = self._optimize(txns)
+        tracks = {name: plan.track for name, plan in result.best.per_txn.items()}
+        return ViewMaintainer(
+            self.db,
+            self.dag,
+            result.best_marking,
+            txns,
+            tracks,
+            self.estimator,
+            self.cost_model,
+        )
+
+    @property
+    def marking(self) -> frozenset[int]:
+        return self.maintainer.marking
+
+    # -- execution ------------------------------------------------------------------
+
+    def apply(self, txn: Transaction) -> None:
+        self.maintainer.apply(txn)
+        self._counts[txn.type_name] = self._counts.get(txn.type_name, 0) + 1
+        self._seen += 1
+        if self._seen % self.window == 0:
+            self._maybe_reoptimize()
+            # Exponential smoothing: recent windows dominate the estimate.
+            for name in self._counts:
+                self._counts[name] *= self.decay
+
+    def _maybe_reoptimize(self) -> None:
+        txns = self._reweighted()
+        result = self._optimize(txns)
+        old_marking = self.maintainer.marking
+        new_marking = result.best_marking
+        # Projected per-txn cost of keeping the current marking under the
+        # new weights.
+        from repro.core.optimizer import evaluate_view_set
+
+        current = evaluate_view_set(
+            self.dag.memo, old_marking, txns, self.cost_model, self.estimator
+        )
+        migration = self._migration_cost(old_marking, new_marking)
+        record = Reoptimization(
+            at_txn=self._seen,
+            weights={t.name: t.weight for t in txns},
+            old_marking=old_marking,
+            new_marking=new_marking,
+            projected_old_cost=current.weighted_cost,
+            projected_new_cost=result.best.weighted_cost,
+            migration_cost=migration,
+        )
+        savings = (current.weighted_cost - result.best.weighted_cost) * self.horizon
+        if new_marking != old_marking and savings > migration:
+            self._migrate(txns, result)
+        else:
+            record = Reoptimization(
+                at_txn=record.at_txn,
+                weights=record.weights,
+                old_marking=old_marking,
+                new_marking=old_marking,  # kept
+                projected_old_cost=record.projected_old_cost,
+                projected_new_cost=record.projected_new_cost,
+                migration_cost=migration,
+            )
+            # Even without a switch, refresh the tracks for the new weights.
+            self.maintainer.txn_types = {t.name: t for t in txns}
+            self.maintainer.tracks = {
+                name: plan.track
+                for name, plan in evaluate_view_set(
+                    self.dag.memo, old_marking, txns, self.cost_model, self.estimator
+                ).per_txn.items()
+            }
+        self.history.append(record)
+
+    def _migration_cost(
+        self, old_marking: frozenset[int], new_marking: frozenset[int]
+    ) -> float:
+        """Pages to build the views that are new (scans under the current
+        marking, so existing views help); drops are free."""
+        added = new_marking - old_marking
+        return sum(
+            self.cost_model.scan_cost(g, old_marking)
+            for g in added
+            if not self.dag.memo.group(g).is_leaf
+        )
+
+    def _migrate(self, txns, result) -> None:
+        memo = self.dag.memo
+        old = self.maintainer.marking
+        new = result.best_marking
+        # Charge the build of each added view.
+        for gid in sorted(new - old):
+            self.db.counter.charge_tuple_read(
+                int(self.cost_model.scan_cost(gid, old))
+            )
+        for gid in old - new:
+            name = self.maintainer.view_name(gid)
+            if name in self.db:
+                self.db.drop_relation(name)
+        tracks = {name: plan.track for name, plan in result.best.per_txn.items()}
+        self.maintainer = ViewMaintainer(
+            self.db,
+            self.dag,
+            new,
+            txns,
+            tracks,
+            self.estimator,
+            self.cost_model,
+        )
+        self.maintainer.materialize()
+
+    def verify(self) -> None:
+        self.maintainer.verify()

@@ -1,0 +1,131 @@
+"""Articulation nodes and the Shielding Principle (paper Section 4).
+
+Theorem 4.1: if V1 ∈ Opt(V) and V1's equivalence node is an articulation
+node of D_V (viewed as an undirected graph), then
+Opt(V1) = Opt(V) ∩ E_V1 — the sub-DAG below an articulation node can be
+optimized locally. The optimizer uses this as a sound pruning filter: any
+global view set that marks an articulation node but disagrees with its
+local optimum below it is discarded without being costed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostModel
+from repro.dag.builder import ViewDag
+from repro.dag.memo import Memo
+from repro.workload.transactions import TransactionType
+
+# Vertices of the undirected view of the DAG: ('g', group_id) and ('o', op_id).
+_Vertex = tuple[str, int]
+
+
+def _undirected_adjacency(memo: Memo, root: int) -> dict[_Vertex, list[_Vertex]]:
+    adj: dict[_Vertex, list[_Vertex]] = {}
+    reachable = memo.descendants(memo.find(root))
+
+    def add_edge(a: _Vertex, b: _Vertex) -> None:
+        adj.setdefault(a, []).append(b)
+        adj.setdefault(b, []).append(a)
+
+    for gid in reachable:
+        group = memo.group(gid)
+        adj.setdefault(("g", gid), [])
+        for op in group.ops:
+            add_edge(("g", gid), ("o", op.id))
+            for cid in op.child_ids:
+                add_edge(("o", op.id), ("g", memo.find(cid)))
+    return adj
+
+
+def articulation_vertices(memo: Memo, root: int) -> set[_Vertex]:
+    """Standard iterative Tarjan/Hopcroft articulation-point computation."""
+    adj = _undirected_adjacency(memo, root)
+    disc: dict[_Vertex, int] = {}
+    low: dict[_Vertex, int] = {}
+    parent: dict[_Vertex, _Vertex | None] = {}
+    points: set[_Vertex] = set()
+    timer = 0
+
+    for start in adj:
+        if start in disc:
+            continue
+        parent[start] = None
+        stack: list[tuple[_Vertex, int]] = [(start, 0)]
+        children_of_root = 0
+        while stack:
+            vertex, idx = stack[-1]
+            if idx == 0:
+                disc[vertex] = low[vertex] = timer
+                timer += 1
+            if idx < len(adj[vertex]):
+                stack[-1] = (vertex, idx + 1)
+                neighbor = adj[vertex][idx]
+                if neighbor not in disc:
+                    parent[neighbor] = vertex
+                    if vertex == start:
+                        children_of_root += 1
+                    stack.append((neighbor, 0))
+                elif neighbor != parent[vertex]:
+                    low[vertex] = min(low[vertex], disc[neighbor])
+            else:
+                stack.pop()
+                p = parent[vertex]
+                if p is not None:
+                    low[p] = min(low[p], low[vertex])
+                    if p != start and low[vertex] >= disc[p]:
+                        points.add(p)
+        if children_of_root > 1:
+            points.add(start)
+    return points
+
+
+def articulation_groups(memo: Memo, root: int) -> frozenset[int]:
+    """Equivalence nodes that are articulation points of D_V, excluding the
+    root and the leaves (paper: articulation *equivalence* nodes)."""
+    root = memo.find(root)
+    points = articulation_vertices(memo, root)
+    result = set()
+    for kind, ident in points:
+        if kind != "g":
+            continue
+        if ident == root or memo.group(ident).is_leaf:
+            continue
+        result.add(ident)
+    return frozenset(result)
+
+
+def local_optimum(
+    dag: ViewDag,
+    node: int,
+    txns: Sequence[TransactionType],
+    cost_model: CostModel,
+    estimator: DagEstimator,
+    track_limit: int | None = None,
+) -> frozenset[int]:
+    """Opt(V1): the optimal view set for maintaining the sub-view at
+    ``node``, over the sub-DAG D_V1 (node always marked)."""
+    from repro.core.optimizer import optimal_view_set
+    from repro.dag.builder import ViewDag as _ViewDag
+
+    memo = dag.memo
+    node = memo.find(node)
+    below = memo.descendants(node)
+    candidates = [g for g in below if not memo.group(g).is_leaf]
+    relevant = [t for t in txns if estimator.affected(node, t)]
+    if not relevant:
+        return frozenset({node})
+    sub = _ViewDag(memo, {"V1": node})
+    result = optimal_view_set(
+        sub,
+        relevant,
+        cost_model,
+        estimator,
+        candidates=candidates,
+        required=[node],
+        shielding=False,
+        track_limit=track_limit,
+    )
+    return result.best_marking

@@ -1,0 +1,352 @@
+"""Heuristic pruning of the search space (paper Section 5).
+
+Three families, exactly as the paper lays out:
+
+* **Single expression tree** — restrict the candidate views to the
+  equivalence nodes of one expression tree. The tree is chosen either as
+  the cheapest tree for evaluating V as a query, or update-aware: among
+  low-cost trees prefer those where relations with high transaction weight
+  sit close to the root (Example 3.1's lesson).
+* **Single view set** — given a tree, mark every equivalence node that is
+  the parent of a join or grouping/aggregation operator (or the child of a
+  duplicate elimination), materialize that set if it beats materializing
+  nothing.
+* **Greedy / approximate costing** — hill-climb: repeatedly add the single
+  candidate view that most reduces the weighted cost, keeping one cost per
+  step instead of exploring all subsets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.algebra.operators import DuplicateElim, GroupAggregate, Join
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostModel
+from repro.core.optimizer import evaluate_view_set, optimal_view_set
+from repro.core.plan import OptimizationResult, TxnPlan, ViewSetEvaluation
+from repro.dag.builder import ViewDag
+from repro.dag.memo import Memo
+from repro.dag.nodes import OperationNode
+from repro.workload.transactions import TransactionType
+
+# A fully-chosen expression tree inside the DAG: group id -> operation node.
+TreeChoice = dict[int, OperationNode]
+
+
+def enumerate_trees(
+    memo: Memo, root: int, limit: int = 500
+) -> Iterator[TreeChoice]:
+    """Enumerate expression trees represented by the DAG (up to ``limit``)."""
+    root = memo.find(root)
+    produced = 0
+
+    def recurse(pending: list[int], choice: TreeChoice) -> Iterator[TreeChoice]:
+        nonlocal produced
+        while pending:
+            gid = pending[-1]
+            if memo.group(gid).is_leaf or gid in choice:
+                pending = pending[:-1]
+                continue
+            for op in memo.group(gid).ops:
+                children = [memo.find(c) for c in op.child_ids]
+                yield from recurse(pending[:-1] + children, {**choice, gid: op})
+            return
+        produced += 1
+        yield dict(choice)
+
+    for tree in recurse([root], {}):
+        yield tree
+        if produced >= limit:
+            return
+
+
+def tree_evaluation_cost(memo: Memo, tree: TreeChoice, estimator: DagEstimator) -> float:
+    """A simple query-evaluation cost for one tree: read every leaf it
+    touches and pay one unit per intermediate result row produced."""
+    cost = 0.0
+    leaves: set[int] = set()
+    for gid, op in tree.items():
+        cost += estimator.info(gid).rows
+        for cid in op.child_ids:
+            cid = memo.find(cid)
+            if memo.group(cid).is_leaf:
+                leaves.add(cid)
+    for leaf in leaves:
+        cost += estimator.info(leaf).rows
+    return cost
+
+
+def tree_update_depth_penalty(
+    memo: Memo,
+    tree: TreeChoice,
+    root: int,
+    txns: Sequence[TransactionType],
+    estimator: DagEstimator,
+) -> float:
+    """Σ_i f_i × (depth of T_i's updated relations in the tree).
+
+    The paper's second-phase check: prefer trees where heavily-updated
+    relations are close to the root, because views containing them have
+    high maintenance cost.
+    """
+    root = memo.find(root)
+    depth: dict[int, int] = {root: 0}
+    order = [root]
+    while order:
+        gid = order.pop()
+        op = tree.get(gid)
+        if op is None:
+            continue
+        for cid in op.child_ids:
+            cid = memo.find(cid)
+            if cid not in depth or depth[cid] < depth[gid] + 1:
+                depth[cid] = depth[gid] + 1
+                order.append(cid)
+    penalty = 0.0
+    for txn in txns:
+        for gid, d in depth.items():
+            group = memo.group(gid)
+            if group.is_leaf and group.base_relation in txn.updated_relations:
+                penalty += txn.weight * d
+    return penalty
+
+
+def select_tree(
+    memo: Memo,
+    root: int,
+    txns: Sequence[TransactionType],
+    estimator: DagEstimator,
+    update_aware: bool = True,
+    limit: int = 500,
+) -> TreeChoice:
+    """Choose one expression tree: cheapest to evaluate, tie-broken (or,
+    when ``update_aware``, lexicographically dominated) by the update-depth
+    penalty."""
+    best: TreeChoice | None = None
+    best_key: tuple[float, float] | None = None
+    for tree in enumerate_trees(memo, root, limit):
+        cost = tree_evaluation_cost(memo, tree, estimator)
+        penalty = tree_update_depth_penalty(memo, tree, root, txns, estimator)
+        key = (penalty, cost) if update_aware else (cost, penalty)
+        if best_key is None or key < best_key:
+            best, best_key = tree, key
+    assert best is not None
+    return best
+
+
+def heuristic_single_tree(
+    dag: ViewDag,
+    txns: Sequence[TransactionType],
+    cost_model: CostModel,
+    estimator: DagEstimator,
+    update_aware: bool = True,
+    max_candidates: int = 16,
+) -> OptimizationResult:
+    """Section 5 heuristic 1: exhaustive search restricted to the
+    equivalence nodes of a single expression tree."""
+    memo = dag.memo
+    root = dag.root
+    tree = select_tree(memo, root, txns, estimator, update_aware)
+    candidates = sorted(tree)
+    return optimal_view_set(
+        dag,
+        txns,
+        cost_model,
+        estimator,
+        candidates=candidates,
+        max_candidates=max_candidates,
+    )
+
+
+def structural_marking(memo: Memo, tree: TreeChoice, root: int) -> frozenset[int]:
+    """Section 5 heuristic 2's marking rule over a tree: mark every
+    equivalence node whose operator is a join or a grouping/aggregation, or
+    that feeds a duplicate elimination; never mark selections."""
+    marked = {memo.find(root)}
+    for gid, op in tree.items():
+        if isinstance(op.template, (Join, GroupAggregate)):
+            marked.add(memo.find(gid))
+        if isinstance(op.template, DuplicateElim):
+            marked.add(memo.find(op.child_ids[0]))
+    return frozenset(marked)
+
+
+def heuristic_single_view_set(
+    dag: ViewDag,
+    txns: Sequence[TransactionType],
+    cost_model: CostModel,
+    estimator: DagEstimator,
+    update_aware: bool = True,
+) -> ViewSetEvaluation:
+    """Section 5 heuristic 2: one structurally-chosen view set, kept only
+    if it beats materializing nothing."""
+    memo = dag.memo
+    root = dag.root
+    tree = select_tree(memo, root, txns, estimator, update_aware)
+    marked = structural_marking(memo, tree, root)
+    candidate = evaluate_view_set(memo, marked, txns, cost_model, estimator)
+    nothing = evaluate_view_set(memo, frozenset({root}), txns, cost_model, estimator)
+    return candidate if candidate.weighted_cost < nothing.weighted_cost else nothing
+
+
+def approximate_view_set(
+    dag: ViewDag,
+    txns: Sequence[TransactionType],
+    cost_model: CostModel,
+    estimator: DagEstimator,
+    candidates: Sequence[int] | None = None,
+    max_candidates: int = 16,
+) -> OptimizationResult:
+    """Section 5's *approximate costing*: associate a single cost with each
+    query and move query costing out of the innermost loop.
+
+    Every (operation node, transaction) site's queries are derived and
+    costed **once** — an unmarked-context cost and a marked-target lookup
+    cost — and every view set is then evaluated by pure arithmetic over
+    those fixed numbers. The retained marking-dependence is only whether
+    the query's *own target* is materialized; the cross-view interactions
+    that make exact costing non-local (paper §4.1) are deliberately
+    ignored, which is what makes this approximate.
+    """
+    from repro.core.optimizer import SearchSpaceError, _candidate_subsets
+    from repro.dag.queries import derive_queries
+
+    memo = dag.memo
+    roots = frozenset(memo.find(r) for r in dag.roots.values())
+    if candidates is None:
+        candidates = dag.candidate_groups()
+    candidates = [memo.find(c) for c in candidates]
+    optional = [c for c in candidates if c not in roots]
+    if len(optional) > max_candidates:
+        raise SearchSpaceError(f"{len(optional)} candidates; restrict the set")
+
+    # Precompute, per (group, txn): update cost; per (op, txn, self-
+    # maintained?): derived queries with fixed unmarked / marked costs.
+    update_costs: dict[tuple[int, str], float] = {}
+    for gid in candidates:
+        for txn in txns:
+            update_costs[(gid, txn.name)] = cost_model.update_cost(gid, txn)
+
+    QueryCosts = list[tuple[int, float, float]]  # (target, unmarked, marked)
+    site_queries: dict[tuple[int, str, bool], QueryCosts] = {}
+    for group in memo.groups():
+        for op in group.ops:
+            for txn in txns:
+                if not estimator.op_affected(op, txn):
+                    continue
+                for own_marked in (False, True):
+                    marking = (
+                        frozenset({memo.find(op.group_id)})
+                        if own_marked
+                        else frozenset()
+                    )
+                    costs: QueryCosts = []
+                    for query in derive_queries(memo, op, txn, marking, estimator):
+                        target = memo.find(query.target)
+                        unmarked = cost_model.query_cost(query, frozenset(), txn)
+                        marked = cost_model.query_cost(
+                            query, frozenset({target}), txn
+                        )
+                        costs.append((target, unmarked, marked))
+                    site_queries[(op.id, txn.name, own_marked)] = costs
+
+    evaluated: list[ViewSetEvaluation] = []
+    best: ViewSetEvaluation | None = None
+    considered = 0
+    total_weight = sum(t.weight for t in txns)
+    for marking in _candidate_subsets(candidates, roots):
+        considered += 1
+        evaluation = ViewSetEvaluation(marking)
+        weighted = 0.0
+        for txn in txns:
+            targets = [g for g in marking if estimator.affected(g, txn)]
+            update = sum(update_costs.get((g, txn.name), 0.0) for g in targets)
+            best_track_cost = float("inf")
+            best_track = {}
+            from repro.core.tracks import enumerate_tracks
+
+            for track in enumerate_tracks(memo, targets, txn, estimator):
+                cost = 0.0
+                for gid, op in track.items():
+                    own_marked = gid in marking
+                    for target, unmarked, marked_cost in site_queries.get(
+                        (op.id, txn.name, own_marked), []
+                    ):
+                        cost += marked_cost if target in marking else unmarked
+                if cost < best_track_cost:
+                    best_track_cost = cost
+                    best_track = track
+            if not targets:
+                best_track_cost = 0.0
+            plan = TxnPlan(txn.name, best_track_cost, update, best_track)
+            evaluation.per_txn[txn.name] = plan
+            weighted += plan.total * txn.weight
+        evaluation.weighted_cost = weighted / total_weight if total_weight else 0.0
+        evaluated.append(evaluation)
+        if best is None or evaluation.weighted_cost < best.weighted_cost:
+            best = evaluation
+    assert best is not None
+    return OptimizationResult(
+        best=best,
+        evaluated=evaluated,
+        root=next(iter(roots)),
+        candidates=tuple(candidates),
+        view_sets_considered=considered,
+    )
+
+
+def greedy_view_set(
+    dag: ViewDag,
+    txns: Sequence[TransactionType],
+    cost_model: CostModel,
+    estimator: DagEstimator,
+    candidates: Sequence[int] | None = None,
+    track_limit: int | None = None,
+) -> OptimizationResult:
+    """Section 5 heuristic 3: greedy hill-climbing with one cost per step.
+
+    Evaluates O(k²) view sets instead of 2^k: starting from {V}, repeatedly
+    add the candidate whose addition lowers the weighted cost the most.
+    """
+    memo = dag.memo
+    root = dag.root
+    if candidates is None:
+        candidates = dag.candidate_groups()
+    remaining = {memo.find(c) for c in candidates} - {root}
+    current = evaluate_view_set(
+        memo, frozenset({root}), txns, cost_model, estimator, track_limit
+    )
+    evaluated = [current]
+    considered = 1
+    improved = True
+    while improved and remaining:
+        improved = False
+        best_addition: tuple[int, ViewSetEvaluation] | None = None
+        for candidate in sorted(remaining):
+            trial = evaluate_view_set(
+                memo,
+                current.marking | {candidate},
+                txns,
+                cost_model,
+                estimator,
+                track_limit,
+            )
+            considered += 1
+            evaluated.append(trial)
+            if trial.weighted_cost < current.weighted_cost - 1e-9 and (
+                best_addition is None
+                or trial.weighted_cost < best_addition[1].weighted_cost
+            ):
+                best_addition = (candidate, trial)
+        if best_addition is not None:
+            current = best_addition[1]
+            remaining.discard(best_addition[0])
+            improved = True
+    return OptimizationResult(
+        best=current,
+        evaluated=evaluated,
+        root=root,
+        candidates=tuple(sorted({memo.find(c) for c in candidates})),
+        view_sets_considered=considered,
+    )

@@ -1,0 +1,69 @@
+"""Maintaining a set of materialized views (paper Section 6).
+
+"The only change will be that the expression DAG will have to include
+multiple view definitions, and may therefore have multiple roots, and every
+view that must be materialized will be marked in the expression DAG. Other
+details of our algorithms remain unchanged." — this module is exactly that
+thin layer: build one shared DAG for all the views (common subexpressions
+merge automatically in the memo) and run the same optimizer with every root
+required.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.algebra.operators import RelExpr
+from repro.algebra.rules import Rule
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig, CostModel
+from repro.cost.page_io import PageIOCostModel
+from repro.core.optimizer import OptimizationResult, optimal_view_set
+from repro.dag.builder import ViewDag, build_multi_dag
+from repro.storage.statistics import Catalog
+from repro.workload.transactions import TransactionType
+
+
+class MultiViewProblem:
+    """Optimization of auxiliary materializations for several views."""
+
+    def __init__(
+        self,
+        views: Mapping[str, RelExpr],
+        catalog: Catalog,
+        txns: Sequence[TransactionType],
+        rules: Sequence[Rule] | None = None,
+        cost_model: CostModel | None = None,
+        charge_root_updates: bool = True,
+    ) -> None:
+        self.views = dict(views)
+        self.txns = list(txns)
+        self.dag: ViewDag = build_multi_dag(self.views, rules)
+        self.estimator = DagEstimator(self.dag.memo, catalog)
+        if cost_model is None:
+            cost_model = PageIOCostModel(
+                self.dag.memo,
+                self.estimator,
+                CostConfig(charge_root_update=charge_root_updates),
+            )
+        self.cost_model = cost_model
+
+    @property
+    def roots(self) -> dict[str, int]:
+        return {name: self.dag.root_of(name) for name in self.views}
+
+    def shared_groups(self) -> frozenset[int]:
+        """Equivalence nodes reachable from more than one view root — the
+        common subexpressions that make joint optimization pay off."""
+        memo = self.dag.memo
+        counts: dict[int, int] = {}
+        for root in self.roots.values():
+            for gid in memo.descendants(root):
+                counts[gid] = counts.get(gid, 0) + 1
+        return frozenset(g for g, c in counts.items() if c > 1)
+
+    def optimize(self, **kwargs) -> OptimizationResult:
+        """Run Algorithm OptimalViewSet with every view root required."""
+        return optimal_view_set(
+            self.dag, self.txns, self.cost_model, self.estimator, **kwargs
+        )

@@ -1,0 +1,183 @@
+"""Algorithm OptimalViewSet (paper Figure 4): exhaustive, memoized search.
+
+Given the expression DAG ``D_V`` of a view V, transaction types with
+weights, and a (monotonic) cost model:
+
+1. precompute the update cost ``M[N, j]`` of every equivalence node N for
+   every transaction type T_j (marking-independent);
+2. for every candidate view set V (every subset of the non-leaf equivalence
+   nodes that contains V), and every transaction type, find the update
+   track with minimum accumulated query cost (multi-query-optimized), and
+   add the members' update costs;
+3. pick the view set minimizing the weighted average cost.
+
+The optional *shielding* filter applies Theorem 4.1: any view set marking
+an articulation node A whose restriction below A differs from the locally
+optimal set Opt(A) cannot be globally optimal and is skipped without
+costing (see :mod:`repro.core.articulation`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, Sequence
+
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostModel
+from repro.core.plan import OptimizationResult, TxnPlan, ViewSetEvaluation
+from repro.core.tracks import enumerate_tracks, track_ops
+from repro.dag.builder import ViewDag
+from repro.dag.memo import Memo
+from repro.dag.queries import derive_queries
+from repro.workload.transactions import TransactionType
+
+DEFAULT_MAX_CANDIDATES = 16
+
+
+class SearchSpaceError(Exception):
+    """Raised when an exhaustive search would be infeasibly large."""
+
+
+def evaluate_view_set(
+    memo: Memo,
+    marking: frozenset[int],
+    txns: Sequence[TransactionType],
+    cost_model: CostModel,
+    estimator: DagEstimator,
+    track_limit: int | None = None,
+) -> ViewSetEvaluation:
+    """Cost a single view set: cheapest update track per transaction type
+    plus the members' update costs, weighted across types."""
+    marking = frozenset(memo.find(g) for g in marking)
+    allow_self_maintenance = getattr(
+        getattr(cost_model, "config", None), "self_maintenance", True
+    )
+    evaluation = ViewSetEvaluation(marking)
+    total_weight = sum(t.weight for t in txns)
+    weighted = 0.0
+    for txn in txns:
+        affected_marked = [g for g in marking if estimator.affected(g, txn)]
+        update_cost = sum(cost_model.update_cost(g, txn) for g in affected_marked)
+        best_query = math.inf
+        best_track = {}
+        for track in enumerate_tracks(memo, affected_marked, txn, estimator, track_limit):
+            queries = []
+            for op in track_ops(track):
+                queries.extend(
+                    derive_queries(
+                        memo, op, txn, marking, estimator, allow_self_maintenance
+                    )
+                )
+            cost = cost_model.total_query_cost(queries, marking, txn)
+            if cost < best_query:
+                best_query = cost
+                best_track = track
+        if not affected_marked:
+            best_query = 0.0
+        plan = TxnPlan(txn.name, best_query, update_cost, best_track)
+        evaluation.per_txn[txn.name] = plan
+        weighted += plan.total * txn.weight
+    evaluation.weighted_cost = weighted / total_weight if total_weight else 0.0
+    return evaluation
+
+
+def _candidate_subsets(
+    candidates: Sequence[int], required: frozenset[int]
+) -> Iterable[frozenset[int]]:
+    optional = [c for c in candidates if c not in required]
+    for r in range(len(optional) + 1):
+        for combo in itertools.combinations(optional, r):
+            yield required | frozenset(combo)
+
+
+def optimal_view_set(
+    dag: ViewDag,
+    txns: Sequence[TransactionType],
+    cost_model: CostModel,
+    estimator: DagEstimator,
+    candidates: Sequence[int] | None = None,
+    required: Iterable[int] | None = None,
+    shielding: bool = False,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+    track_limit: int | None = None,
+) -> OptimizationResult:
+    """Exhaustive Algorithm OptimalViewSet over the DAG's view sets.
+
+    ``required`` defaults to the DAG's root(s) — the paper always
+    materializes the view being maintained. ``candidates`` defaults to all
+    non-leaf equivalence nodes.
+    """
+    memo = dag.memo
+    roots = frozenset(memo.find(r) for r in dag.roots.values())
+    if required is None:
+        required = roots
+    required = frozenset(memo.find(g) for g in required)
+    if candidates is None:
+        candidates = dag.candidate_groups()
+    candidates = [memo.find(c) for c in candidates]
+    optional = [c for c in candidates if c not in required]
+    if len(optional) > max_candidates:
+        raise SearchSpaceError(
+            f"{len(optional)} optional candidates would require "
+            f"2^{len(optional)} view sets; restrict candidates or use heuristics"
+        )
+
+    local_optima: dict[int, frozenset[int]] = {}
+    articulation: frozenset[int] = frozenset()
+    if shielding:
+        from repro.core.articulation import articulation_groups, local_optimum
+
+        root = next(iter(roots))
+        articulation = articulation_groups(memo, root)
+        for node in articulation:
+            if node in required:
+                continue
+            local_optima[node] = local_optimum(
+                dag, node, txns, cost_model, estimator, track_limit=track_limit
+            )
+
+    evaluated: list[ViewSetEvaluation] = []
+    best: ViewSetEvaluation | None = None
+    considered = pruned = 0
+    for marking in _candidate_subsets(candidates, required):
+        considered += 1
+        if shielding and _violates_shielding(memo, marking, local_optima, estimator):
+            pruned += 1
+            continue
+        evaluation = evaluate_view_set(
+            memo, marking, txns, cost_model, estimator, track_limit
+        )
+        evaluated.append(evaluation)
+        if best is None or evaluation.weighted_cost < best.weighted_cost:
+            best = evaluation
+    assert best is not None
+    root = next(iter(roots))
+    return OptimizationResult(
+        best=best,
+        evaluated=evaluated,
+        root=root,
+        candidates=tuple(candidates),
+        view_sets_considered=considered,
+        view_sets_pruned=pruned,
+    )
+
+
+def _violates_shielding(
+    memo: Memo,
+    marking: frozenset[int],
+    local_optima: dict[int, frozenset[int]],
+    estimator: DagEstimator,
+) -> bool:
+    """Theorem 4.1 filter: a marked articulation node's sub-view-set must
+    equal its local optimum."""
+    for node, opt in local_optima.items():
+        if node not in marking:
+            continue
+        below = memo.descendants(node)
+        restricted = frozenset(
+            g for g in marking if g in below and not memo.group(g).is_leaf
+        )
+        if restricted != opt:
+            return True
+    return False

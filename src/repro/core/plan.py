@@ -1,0 +1,66 @@
+"""Result types for view-set optimization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.tracks import UpdateTrack
+from repro.dag.memo import Memo
+
+
+@dataclass
+class TxnPlan:
+    """The chosen maintenance plan for one transaction type."""
+
+    txn_name: str
+    query_cost: float
+    update_cost: float
+    track: UpdateTrack
+
+    @property
+    def total(self) -> float:
+        return self.query_cost + self.update_cost
+
+
+@dataclass
+class ViewSetEvaluation:
+    """Costs of one candidate view set (marking) across transaction types."""
+
+    marking: frozenset[int]
+    per_txn: dict[str, TxnPlan] = field(default_factory=dict)
+    weighted_cost: float = 0.0
+
+    def describe(self, memo: Memo, root: int | None = None) -> str:
+        extra = sorted(
+            gid for gid in self.marking if root is None or memo.find(gid) != memo.find(root)
+        )
+        names = ", ".join(f"N{g}" for g in extra) or "∅"
+        return f"{{{names}}}: weighted {self.weighted_cost:.2f}"
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of a view-set search."""
+
+    best: ViewSetEvaluation
+    evaluated: list[ViewSetEvaluation]
+    root: int
+    candidates: tuple[int, ...]
+    view_sets_considered: int = 0
+    view_sets_pruned: int = 0
+
+    @property
+    def best_marking(self) -> frozenset[int]:
+        return self.best.marking
+
+    def additional_views(self) -> frozenset[int]:
+        """The marked nodes other than the root — the paper's V \\ {V}."""
+        return frozenset(g for g in self.best.marking if g != self.root)
+
+    def evaluation_for(self, marking: Mapping[int, object] | frozenset[int]) -> ViewSetEvaluation:
+        marking = frozenset(marking)
+        for ev in self.evaluated:
+            if ev.marking == marking:
+                return ev
+        raise KeyError(f"view set {sorted(marking)} was not evaluated")

@@ -1,0 +1,100 @@
+"""Persisting maintenance plans.
+
+An advisor run (possibly expensive: exhaustive search over many view sets)
+produces a marking and per-transaction update tracks. This module saves
+that plan as JSON and reloads it against a *freshly rebuilt* DAG — DAG
+construction is deterministic for a given view definition and rule set, so
+group and operation ids are stable; a structural fingerprint guards
+against loading a plan into a DAG that drifted (different view text, rules,
+or library version).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Mapping
+
+from repro.core.plan import OptimizationResult, TxnPlan, ViewSetEvaluation
+from repro.core.tracks import UpdateTrack
+from repro.dag.builder import ViewDag
+from repro.dag.display import render_dag
+from repro.dag.nodes import OperationNode
+
+FORMAT_VERSION = 1
+
+
+class PlanFormatError(Exception):
+    """Raised when a persisted plan cannot be loaded safely."""
+
+
+def dag_fingerprint(dag: ViewDag) -> str:
+    """A stable structural hash of the expanded DAG."""
+    parts = [render_dag(dag.memo)]
+    parts.extend(f"{name}={dag.memo.find(gid)}" for name, gid in sorted(dag.roots.items()))
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+def _op_index(dag: ViewDag) -> dict[int, OperationNode]:
+    return {op.id: op for op in dag.memo.ops()}
+
+
+def plan_to_dict(dag: ViewDag, evaluation: ViewSetEvaluation) -> dict:
+    """Serialize one view-set evaluation (marking + tracks + costs)."""
+    return {
+        "version": FORMAT_VERSION,
+        "fingerprint": dag_fingerprint(dag),
+        "marking": sorted(evaluation.marking),
+        "weighted_cost": evaluation.weighted_cost,
+        "per_txn": {
+            name: {
+                "query_cost": plan.query_cost,
+                "update_cost": plan.update_cost,
+                "track": {str(gid): op.id for gid, op in plan.track.items()},
+            }
+            for name, plan in evaluation.per_txn.items()
+        },
+    }
+
+
+def plan_from_dict(dag: ViewDag, payload: Mapping) -> ViewSetEvaluation:
+    """Rebuild a view-set evaluation against a freshly built DAG."""
+    if payload.get("version") != FORMAT_VERSION:
+        raise PlanFormatError(
+            f"unsupported plan format version {payload.get('version')!r}"
+        )
+    if payload.get("fingerprint") != dag_fingerprint(dag):
+        raise PlanFormatError(
+            "plan fingerprint does not match this DAG — the view definition, "
+            "rule set, or library version changed; re-run the optimizer"
+        )
+    ops = _op_index(dag)
+    evaluation = ViewSetEvaluation(frozenset(payload["marking"]))
+    evaluation.weighted_cost = float(payload["weighted_cost"])
+    for name, entry in payload["per_txn"].items():
+        track: UpdateTrack = {}
+        for gid_text, op_id in entry["track"].items():
+            op = ops.get(op_id)
+            if op is None:
+                raise PlanFormatError(f"operation node E{op_id} not found in DAG")
+            track[int(gid_text)] = op
+        evaluation.per_txn[name] = TxnPlan(
+            name,
+            float(entry["query_cost"]),
+            float(entry["update_cost"]),
+            track,
+        )
+    return evaluation
+
+
+def save_plan(dag: ViewDag, result: OptimizationResult | ViewSetEvaluation, path) -> None:
+    """Write the chosen plan to a JSON file."""
+    evaluation = result.best if isinstance(result, OptimizationResult) else result
+    Path(path).write_text(json.dumps(plan_to_dict(dag, evaluation), indent=2))
+
+
+def load_plan(dag: ViewDag, path) -> ViewSetEvaluation:
+    """Load a previously saved plan, validating it against ``dag``."""
+    payload = json.loads(Path(path).read_text())
+    return plan_from_dict(dag, payload)

@@ -1,0 +1,207 @@
+"""Space-budgeted view-set selection — quantifying the paper's trade.
+
+The paper's title is the trade-off; its algorithms optimize time assuming
+space is free ("Obviously there is also a time cost for maintaining these
+additional views", §1 — space cost is acknowledged but not budgeted). This
+module makes the trade explicit: every materialized view occupies pages
+(one page per tuple plus its index pages, matching the storage model), and
+the optimizer can be asked for the best view set whose *additional* space
+fits a budget.
+
+Two searches are provided:
+
+* :func:`optimal_view_set_within_budget` — the exhaustive Algorithm
+  OptimalViewSet restricted to feasible view sets;
+* :func:`greedy_view_set_within_budget` — benefit-per-page greedy
+  hill-climbing, the classic knapsack-style heuristic;
+
+plus :func:`space_time_curve`, which sweeps budgets and reports the
+achievable maintenance cost at each — the space-for-time curve itself.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostModel
+from repro.cost.page_io import PageIOCostModel
+from repro.core.optimizer import evaluate_view_set, optimal_view_set
+from repro.core.plan import OptimizationResult, ViewSetEvaluation
+from repro.dag.builder import ViewDag
+from repro.workload.transactions import TransactionType
+
+
+def view_space_pages(
+    memo, gid: int, estimator: DagEstimator, cost_model: CostModel
+) -> float:
+    """Estimated pages a materialized node occupies: one page per tuple
+    (unclustered, as in the paper's storage model) plus its hash-index
+    pages (one per distinct key of the index columns)."""
+    gid = memo.find(gid)
+    info = estimator.info(gid)
+    pages = info.rows
+    if isinstance(cost_model, PageIOCostModel):
+        index_cols = cost_model.index_columns(gid)
+        if index_cols:
+            pages += info.distinct_of(sorted(index_cols))
+    return pages
+
+
+def marking_space(
+    dag: ViewDag,
+    marking: frozenset[int],
+    estimator: DagEstimator,
+    cost_model: CostModel,
+) -> float:
+    """Additional space of a view set: the auxiliary views only (the root
+    view is materialized regardless; base relations are already stored)."""
+    memo = dag.memo
+    roots = {memo.find(r) for r in dag.roots.values()}
+    total = 0.0
+    for gid in marking:
+        if gid in roots or memo.group(gid).is_leaf:
+            continue
+        total += view_space_pages(memo, gid, estimator, cost_model)
+    return total
+
+
+def optimal_view_set_within_budget(
+    dag: ViewDag,
+    txns: Sequence[TransactionType],
+    cost_model: CostModel,
+    estimator: DagEstimator,
+    budget: float,
+    **kwargs,
+) -> OptimizationResult:
+    """Exhaustive search over view sets whose additional space ≤ budget.
+
+    Implemented as the standard search with infeasible markings discarded
+    after costing is skipped (they are filtered before evaluation via the
+    candidate filter trick: every optional candidate larger than the budget
+    can never appear)."""
+    memo = dag.memo
+    roots = {memo.find(r) for r in dag.roots.values()}
+    candidates = kwargs.pop("candidates", None) or dag.candidate_groups()
+    affordable = [
+        memo.find(c)
+        for c in candidates
+        if memo.find(c) in roots
+        or view_space_pages(memo, c, estimator, cost_model) <= budget
+    ]
+    result = optimal_view_set(
+        dag, txns, cost_model, estimator, candidates=affordable, **kwargs
+    )
+    feasible = [
+        ev
+        for ev in result.evaluated
+        if marking_space(dag, ev.marking, estimator, cost_model) <= budget
+    ]
+    if not feasible:
+        raise ValueError("no feasible view set within the budget")
+    best = min(feasible, key=lambda ev: ev.weighted_cost)
+    return OptimizationResult(
+        best=best,
+        evaluated=feasible,
+        root=result.root,
+        candidates=result.candidates,
+        view_sets_considered=result.view_sets_considered,
+        view_sets_pruned=result.view_sets_considered - len(feasible),
+    )
+
+
+def greedy_view_set_within_budget(
+    dag: ViewDag,
+    txns: Sequence[TransactionType],
+    cost_model: CostModel,
+    estimator: DagEstimator,
+    budget: float,
+    candidates: Sequence[int] | None = None,
+    track_limit: int | None = None,
+) -> OptimizationResult:
+    """Benefit-per-page greedy: repeatedly add the affordable candidate
+    with the best (cost reduction / space) ratio."""
+    memo = dag.memo
+    roots = frozenset(memo.find(r) for r in dag.roots.values())
+    if candidates is None:
+        candidates = dag.candidate_groups()
+    remaining = {memo.find(c) for c in candidates} - roots
+    current = evaluate_view_set(
+        memo, roots, txns, cost_model, estimator, track_limit
+    )
+    evaluated = [current]
+    spent = 0.0
+    considered = 1
+    improved = True
+    while improved and remaining:
+        improved = False
+        best_pick: tuple[float, int, ViewSetEvaluation, float] | None = None
+        for candidate in sorted(remaining):
+            space = view_space_pages(memo, candidate, estimator, cost_model)
+            if spent + space > budget:
+                continue
+            trial = evaluate_view_set(
+                memo,
+                current.marking | {candidate},
+                txns,
+                cost_model,
+                estimator,
+                track_limit,
+            )
+            considered += 1
+            evaluated.append(trial)
+            gain = current.weighted_cost - trial.weighted_cost
+            if gain <= 1e-9:
+                continue
+            ratio = gain / max(space, 1.0)
+            if best_pick is None or ratio > best_pick[0]:
+                best_pick = (ratio, candidate, trial, space)
+        if best_pick is not None:
+            _, candidate, trial, space = best_pick
+            current = trial
+            spent += space
+            remaining.discard(candidate)
+            improved = True
+    return OptimizationResult(
+        best=current,
+        evaluated=evaluated,
+        root=next(iter(roots)),
+        candidates=tuple(sorted({memo.find(c) for c in candidates})),
+        view_sets_considered=considered,
+    )
+
+
+def space_time_curve(
+    dag: ViewDag,
+    txns: Sequence[TransactionType],
+    cost_model: CostModel,
+    estimator: DagEstimator,
+    budgets: Sequence[float],
+    exhaustive: bool = True,
+    **kwargs,
+) -> list[dict[str, float]]:
+    """The space-for-time curve: for each budget, the best achievable
+    weighted maintenance cost and the space actually used."""
+    curve = []
+    for budget in budgets:
+        if exhaustive:
+            result = optimal_view_set_within_budget(
+                dag, txns, cost_model, estimator, budget, **kwargs
+            )
+        else:
+            result = greedy_view_set_within_budget(
+                dag, txns, cost_model, estimator, budget, **kwargs
+            )
+        used = marking_space(dag, result.best_marking, estimator, cost_model)
+        curve.append(
+            {
+                "budget": float(budget),
+                "cost": result.best.weighted_cost,
+                "space_used": used,
+                "views": float(
+                    len(result.best_marking)
+                    - len({dag.memo.find(r) for r in dag.roots.values()})
+                ),
+            }
+        )
+    return curve

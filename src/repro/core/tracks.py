@@ -1,0 +1,102 @@
+"""Subdags and update tracks (paper Definitions 3.2 and 3.3).
+
+A *subdag* for a view set V picks exactly one operation-node child for every
+equivalence node it needs; an *update track* for a transaction type is the
+affected part of a subdag — the minimal ways of propagating updates from
+the updated relations to every affected materialized view.
+
+Enumeration works top-down from the affected marked nodes: each needed
+affected group chooses one affected operation child, and the choice is
+shared wherever the group appears (that is what makes common subexpressions
+pay off once instead of twice).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.cost.estimates import DagEstimator
+from repro.dag.memo import Memo
+from repro.dag.nodes import OperationNode
+from repro.workload.transactions import TransactionType
+
+# An update track: affected group id -> the operation node computing its delta.
+UpdateTrack = dict[int, OperationNode]
+
+
+def affected_ops(
+    memo: Memo, group_id: int, txn: TransactionType, estimator: DagEstimator
+) -> list[OperationNode]:
+    """Operation children of a group that receive a delta for ``txn``."""
+    group = memo.group(group_id)
+    if group.is_leaf:
+        return []
+    return [op for op in group.ops if estimator.op_affected(op, txn)]
+
+
+def enumerate_tracks(
+    memo: Memo,
+    targets: Iterable[int],
+    txn: TransactionType,
+    estimator: DagEstimator,
+    limit: int | None = None,
+) -> Iterator[UpdateTrack]:
+    """All update tracks delivering ``txn``'s deltas to every target group.
+
+    ``targets`` are the affected materialized equivalence nodes. Tracks are
+    yielded as consistent assignments over the needed closure; duplicates
+    cannot arise because choices are made in a fixed group order.
+    """
+    targets = sorted(
+        {memo.find(t) for t in targets if estimator.affected(t, txn)}
+    )
+    count = 0
+
+    def recurse(
+        pending: list[int], assignment: dict[int, OperationNode]
+    ) -> Iterator[UpdateTrack]:
+        nonlocal count
+        while pending:
+            gid = pending[-1]
+            group = memo.group(gid)
+            if group.is_leaf or gid in assignment:
+                pending = pending[:-1]
+                continue
+            options = affected_ops(memo, gid, txn, estimator)
+            if not options:
+                # Affected group with no affected op cannot happen in a
+                # consistent DAG; treat as a dead end defensively.
+                return
+            for op in options:
+                new_children = [
+                    memo.find(c)
+                    for c in op.child_ids
+                    if estimator.affected(c, txn)
+                    and not memo.group(memo.find(c)).is_leaf
+                    and memo.find(c) not in assignment
+                ]
+                yield from recurse(
+                    pending[:-1] + new_children, {**assignment, gid: op}
+                )
+            return
+        count += 1
+        yield dict(assignment)
+
+    for track in recurse(list(targets), {}):
+        yield track
+        if limit is not None and count >= limit:
+            return
+
+
+def track_ops(track: UpdateTrack) -> list[OperationNode]:
+    """The operation nodes of a track in deterministic order."""
+    return [track[gid] for gid in sorted(track)]
+
+
+def describe_track(memo: Memo, track: UpdateTrack) -> str:
+    """Human-readable track description (paper style: N1,E1,N2,E2,...)."""
+    parts = []
+    for gid in sorted(track):
+        op = track[gid]
+        parts.append(f"N{gid}←E{op.id}")
+    return ", ".join(parts)

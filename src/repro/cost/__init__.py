@@ -1,0 +1,17 @@
+"""Cost models: statistics/delta estimation, the page-I/O model, FDs."""
+
+from repro.cost.estimates import DagEstimator, DeltaStats, NodeInfo, estimate_selectivity
+from repro.cost.fds import FDSet
+from repro.cost.model import CostConfig, CostModel
+from repro.cost.page_io import PageIOCostModel
+
+__all__ = [
+    "CostConfig",
+    "CostModel",
+    "DagEstimator",
+    "DeltaStats",
+    "FDSet",
+    "NodeInfo",
+    "PageIOCostModel",
+    "estimate_selectivity",
+]

@@ -1,0 +1,25 @@
+"""Expression DAGs: equivalence/operation nodes, memo, expansion, queries."""
+
+from repro.dag.builder import ViewDag, build_dag, build_multi_dag
+from repro.dag.display import count_trees, render_dag
+from repro.dag.expand import ExpansionLimit, expand
+from repro.dag.memo import Memo, MemoError
+from repro.dag.nodes import EquivalenceNode, GroupLeaf, OperationNode
+from repro.dag.queries import MaintenanceQuery, derive_queries
+
+__all__ = [
+    "EquivalenceNode",
+    "ExpansionLimit",
+    "GroupLeaf",
+    "MaintenanceQuery",
+    "Memo",
+    "MemoError",
+    "OperationNode",
+    "ViewDag",
+    "build_dag",
+    "build_multi_dag",
+    "count_trees",
+    "derive_queries",
+    "expand",
+    "render_dag",
+]

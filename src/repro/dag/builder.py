@@ -1,0 +1,66 @@
+"""Building the expression DAG ``D_V`` for a view (or a set of views).
+
+``build_dag`` inserts the view's expression tree into a fresh memo and
+expands it to closure under the equivalence rules, exactly as the paper
+prescribes: "The first step in determining the additional views to
+materialize ... is to generate D_V".
+
+Section 6 of the paper notes the same representation handles a *set* of
+views (multiple roots); ``build_multi_dag`` provides that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.algebra.operators import RelExpr
+from repro.algebra.rules import Rule
+from repro.dag.expand import expand
+from repro.dag.memo import Memo
+
+
+@dataclass
+class ViewDag:
+    """An expanded expression DAG with one root per view."""
+
+    memo: Memo
+    roots: dict[str, int]  # view name -> root group id
+
+    @property
+    def root(self) -> int:
+        """The unique root group id (single-view DAGs only)."""
+        if len(self.roots) != 1:
+            raise ValueError(f"DAG has {len(self.roots)} roots; use .roots")
+        (gid,) = self.roots.values()
+        return self.memo.find(gid)
+
+    def root_of(self, view: str) -> int:
+        return self.memo.find(self.roots[view])
+
+    def candidate_groups(self) -> list[int]:
+        """E_V: all non-leaf equivalence nodes (candidate views to
+        materialize), in id order."""
+        return [g.id for g in self.memo.groups() if not g.is_leaf]
+
+
+def build_dag(view: RelExpr, rules: Sequence[Rule] | None = None, name: str = "V") -> ViewDag:
+    """Build and expand the expression DAG for a single view."""
+    memo = Memo()
+    root = memo.insert_tree(view)
+    expand(memo, rules)
+    return ViewDag(memo, {name: root})
+
+
+def build_multi_dag(
+    views: Mapping[str, RelExpr], rules: Sequence[Rule] | None = None
+) -> ViewDag:
+    """Build one shared DAG for several views (Section 6 extension).
+
+    Common subexpressions across view definitions land in shared groups
+    automatically because the memo is keyed canonically.
+    """
+    memo = Memo()
+    roots = {name: memo.insert_tree(expr) for name, expr in views.items()}
+    expand(memo, rules)
+    return ViewDag(memo, roots)

@@ -1,0 +1,103 @@
+"""Textual rendering of expression DAGs (paper Figure 2 style)."""
+
+from __future__ import annotations
+
+from repro.dag.memo import Memo
+
+
+def render_dag(memo: Memo, root: int | None = None) -> str:
+    """Render a memo as text: one line per equivalence node, then its ops.
+
+    Equivalence nodes print as ``N<id>``, operation nodes as ``E<id>``,
+    mirroring the paper's Figure 2 labels.
+    """
+    lines: list[str] = []
+    groups = memo.groups()
+    if root is not None:
+        reachable = memo.descendants(root)
+        groups = [g for g in groups if g.id in reachable]
+    for group in groups:
+        head = f"N{group.id}"
+        if group.is_leaf:
+            lines.append(f"{head} (leaf): {group.base_relation} {group.schema}")
+            continue
+        lines.append(f"{head}: {group.schema}")
+        for op in group.ops:
+            kids = ", ".join(f"N{memo.find(c)}" for c in op.child_ids)
+            lines.append(f"  E{op.id}: {op.label()} ({kids})")
+    return "\n".join(lines)
+
+
+def to_dot(
+    memo: Memo,
+    root: int | None = None,
+    marking: frozenset[int] = frozenset(),
+    title: str = "expression DAG",
+) -> str:
+    """Render the DAG in Graphviz DOT (paper Figure 2 style).
+
+    Equivalence nodes are boxes (doubled when materialized per ``marking``),
+    operation nodes are ellipses; edges run group → op → child groups.
+    """
+    lines = [
+        "digraph dag {",
+        f'  label="{title}";',
+        "  rankdir=BT;",
+        "  node [fontsize=10];",
+    ]
+    groups = memo.groups()
+    if root is not None:
+        reachable = memo.descendants(root)
+        groups = [g for g in groups if g.id in reachable]
+    marked = {memo.find(g) for g in marking}
+    for group in groups:
+        if group.is_leaf:
+            label = f"N{group.id}: {group.base_relation}"
+            shape = "box3d"
+        else:
+            label = f"N{group.id}"
+            shape = "box"
+        peripheries = 2 if group.id in marked else 1
+        lines.append(
+            f'  g{group.id} [shape={shape}, peripheries={peripheries}, '
+            f'label="{label}"];'
+        )
+        for op in group.ops:
+            if op.is_leaf_scan:
+                continue
+            text = op.label().replace('"', "'")
+            lines.append(f'  o{op.id} [shape=ellipse, label="E{op.id}: {text}"];')
+            lines.append(f"  o{op.id} -> g{group.id};")
+            for cid in op.child_ids:
+                lines.append(f"  g{memo.find(cid)} -> o{op.id};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def count_trees(memo: Memo, root: int) -> int:
+    """Number of distinct expression trees the DAG represents below ``root``.
+
+    Each equivalence node contributes the sum over its ops of the product of
+    its children's counts — the standard AND/OR-tree count.
+    """
+    cache: dict[int, int] = {}
+
+    def visit(gid: int) -> int:
+        gid = memo.find(gid)
+        if gid in cache:
+            return cache[gid]
+        group = memo.group(gid)
+        if group.is_leaf:
+            cache[gid] = 1
+            return 1
+        cache[gid] = 0  # break cycles defensively; DAGs are acyclic
+        total = 0
+        for op in group.ops:
+            product = 1
+            for cid in op.child_ids:
+                product *= visit(cid)
+            total += product
+        cache[gid] = total
+        return total
+
+    return visit(root)

@@ -1,0 +1,79 @@
+"""Rule-driven DAG expansion (the Volcano-style step of Section 2.1).
+
+Starting from the initial DAG of a view's expression tree, repeatedly apply
+equivalence rules to every operation node until a fixpoint. Rules may match
+two operator levels, so each application site enumerates *bindings*: the op
+node's template with each child either left as a :class:`GroupLeaf` or
+expanded into one of the child group's own (shallow) operation templates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.algebra.operators import RelExpr
+from repro.algebra.rules import Rule, default_rules
+from repro.dag.memo import Memo
+from repro.dag.nodes import GroupLeaf, OperationNode
+
+
+class ExpansionLimit(Exception):
+    """Raised when expansion exceeds its safety limits."""
+
+
+def _bindings(memo: Memo, op: OperationNode) -> Iterable[RelExpr]:
+    """Enumerate depth-≤2 pattern trees rooted at ``op``.
+
+    Child alternatives with implicit projections are not expanded through:
+    their template schema is a superset of the group schema, so a rule
+    matching through them could reference columns the group does not have.
+    """
+    alternatives: list[list[RelExpr]] = []
+    for cid in op.child_ids:
+        group = memo.group(cid)
+        alts: list[RelExpr] = [GroupLeaf(group.id, group.schema)]
+        for child_op in group.ops:
+            if child_op.projection is None and not child_op.is_leaf_scan:
+                alts.append(child_op.template)
+        alternatives.append(alts)
+    for combo in itertools.product(*alternatives):
+        yield op.template.with_children(combo)
+
+
+def expand(
+    memo: Memo,
+    rules: Sequence[Rule] | None = None,
+    max_passes: int = 30,
+    max_ops: int = 20_000,
+) -> Memo:
+    """Expand the memo to closure under ``rules`` (in place; also returned)."""
+    if rules is None:
+        rules = default_rules()
+    applied: set[tuple[str, int, RelExpr]] = set()
+    for _ in range(max_passes):
+        changed = False
+        for group in list(memo.groups()):
+            # The group may have been merged away mid-pass.
+            if memo.find(group.id) != group.id:
+                continue
+            for op in list(group.ops):
+                if op.is_leaf_scan:
+                    continue
+                for binding in list(_bindings(memo, op)):
+                    for rule in rules:
+                        site = (rule.name, memo.find(group.id), binding)
+                        if site in applied:
+                            continue
+                        applied.add(site)
+                        for result in rule.apply(binding):
+                            if memo.insert_into(result, group.id):
+                                changed = True
+                            total_ops = sum(len(g.ops) for g in memo.groups())
+                            if total_ops > max_ops:
+                                raise ExpansionLimit(
+                                    f"memo exceeded {max_ops} operation nodes"
+                                )
+        if not changed:
+            return memo
+    raise ExpansionLimit(f"no fixpoint after {max_passes} passes")

@@ -1,0 +1,118 @@
+"""Deltas: the paper's ΔR — insertions, deletions, and modifications.
+
+The paper (Section 2.2) considers "differentials that include inserted
+tuples, deleted tuples, and modified tuples". Modifications are kept as
+(old, new) pairs rather than delete+insert both because SQL UPDATE is the
+workload the paper prices (its >Emp / >Dept transactions) and because the
+storage cost of a modification (read-modify-write, no index maintenance when
+the key is unchanged) differs from a delete plus an insert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.algebra.multiset import Multiset, Row
+
+
+@dataclass
+class Delta:
+    """A change set for one relation (base or view)."""
+
+    inserts: Multiset = field(default_factory=Multiset)
+    deletes: Multiset = field(default_factory=Multiset)  # positive counts
+    modifies: list[tuple[Row, Row]] = field(default_factory=list)  # (old, new)
+
+    def __post_init__(self) -> None:
+        if not self.inserts.is_nonnegative() or not self.deletes.is_nonnegative():
+            raise ValueError("insert/delete multisets must have non-negative counts")
+
+    # -- constructors ------------------------------------------------------------
+
+    @staticmethod
+    def insertion(rows: Iterable[Row]) -> "Delta":
+        return Delta(inserts=Multiset(rows))
+
+    @staticmethod
+    def deletion(rows: Iterable[Row]) -> "Delta":
+        return Delta(deletes=Multiset(rows))
+
+    @staticmethod
+    def modification(pairs: Iterable[tuple[Row, Row]]) -> "Delta":
+        return Delta(modifies=[(old, new) for old, new in pairs])
+
+    @staticmethod
+    def from_net(net: Multiset) -> "Delta":
+        """Split a signed multiset into inserts and deletes (no modifies)."""
+        return Delta(inserts=net.positive_part(), deletes=net.negative_part())
+
+    # -- views --------------------------------------------------------------------
+
+    def net(self) -> Multiset:
+        """The signed multiset this delta denotes."""
+        out = self.inserts - self.deletes
+        for old, new in self.modifies:
+            out.add(old, -1)
+            out.add(new, 1)
+        return out
+
+    def all_inserted(self) -> Multiset:
+        """Everything that enters the relation (inserts + new sides)."""
+        out = self.inserts.copy()
+        for _, new in self.modifies:
+            out.add(new, 1)
+        return out
+
+    def all_deleted(self) -> Multiset:
+        """Everything that leaves the relation (deletes + old sides)."""
+        out = self.deletes.copy()
+        for old, _ in self.modifies:
+            out.add(old, 1)
+        return out
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.inserts and not self.deletes and not self.modifies
+
+    def size(self) -> int:
+        """Number of changed tuples (a modification counts once)."""
+        return self.inserts.total() + self.deletes.total() + len(self.modifies)
+
+    def pair_modifications(self, key_positions: Iterable[int]) -> "Delta":
+        """Re-pair deletes and inserts that share a key into modifications.
+
+        Delta propagation through operators naturally produces (delete old,
+        insert new) pairs for what is semantically a modification; pairing
+        them back up lets the storage layer charge read-modify-write costs,
+        as the paper does at nodes N3/N4.
+        """
+        key_positions = tuple(key_positions)
+
+        def key_of(row: Row) -> tuple:
+            return tuple(row[i] for i in key_positions)
+
+        by_key_del: dict[tuple, list[Row]] = {}
+        for row, count in self.deletes.items():
+            by_key_del.setdefault(key_of(row), []).extend([row] * count)
+        inserts = Multiset()
+        modifies = list(self.modifies)
+        for row, count in self.inserts.items():
+            key = key_of(row)
+            for _ in range(count):
+                olds = by_key_del.get(key)
+                if olds:
+                    modifies.append((olds.pop(), row))
+                else:
+                    inserts.add(row, 1)
+        deletes = Multiset()
+        for rows in by_key_del.values():
+            for row in rows:
+                deletes.add(row, 1)
+        return Delta(inserts=inserts, deletes=deletes, modifies=modifies)
+
+    def __repr__(self) -> str:
+        return (
+            f"Delta(+{self.inserts.total()}, -{self.deletes.total()}, "
+            f"~{len(self.modifies)})"
+        )

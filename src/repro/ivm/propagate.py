@@ -1,0 +1,350 @@
+"""Per-operator delta propagation (the counting algorithm, paper §2.2).
+
+Each ``propagate_*`` function computes the delta of an operator's output
+from the delta(s) of its input(s), using *fetch callbacks* for the queries
+the paper describes: "to compute the Δ on the result of an operation,
+queries may have to be set up on the inputs to the operation". The caller
+(the maintainer/executor) decides how a fetch is answered — an indexed
+lookup on a materialized view, a recursive computation over the DAG, or a
+plain in-memory multiset in tests — and is charged accordingly.
+
+All functions are pure with respect to their inputs; correctness is pinned
+by property tests asserting ``new_state == old_state + delta`` against
+from-scratch re-evaluation for random update streams.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.algebra.evaluate import (
+    compute_aggregate,
+    eval_join,
+    eval_project,
+    eval_select,
+)
+from repro.algebra.multiset import Multiset, Row
+from repro.algebra.operators import (
+    Difference,
+    DuplicateElim,
+    GroupAggregate,
+    Join,
+    Project,
+    Select,
+)
+from repro.algebra.schema import Schema
+from repro.ivm.delta import Delta
+
+# A fetch callback: given a set of key values over fixed columns, return all
+# matching rows of the *old* state of some relation, as a multiset.
+Fetch = Callable[[set[tuple[Any, ...]]], Multiset]
+
+
+class PropagationError(Exception):
+    """Raised when a propagation mode's preconditions are violated."""
+
+
+def can_self_maintain(
+    expr: GroupAggregate,
+    removals: bool,
+    modified_columns: Iterable[str] = (),
+) -> bool:
+    """Whether a *materialized* aggregate can absorb a delta from its own
+    old rows alone, without querying its input (classic IVM theory):
+
+    * MIN/MAX qualify only for growth: no removals and no modification of
+      their argument columns (a removal or a changed value can expose a
+      new extremum, which only the input knows);
+    * AVG qualifies only alongside an explicit COUNT (to reconstruct the
+      running sum);
+    * when ``removals`` is possible — explicit deletions, or modifications
+      that move rows between groups — an explicit COUNT is required to
+      detect emptied groups (and MIN/MAX disqualify entirely).
+
+    SUM/COUNT under insertions and in-place modifications always qualify,
+    which is exactly the paper's N3 read-modify-write case.
+    """
+    modified = frozenset(modified_columns)
+    funcs = [a.func for a in expr.aggregates]
+    if any(f in ("min", "max") for f in funcs):
+        if removals:
+            return False
+        for agg in expr.aggregates:
+            if agg.func in ("min", "max"):
+                assert agg.arg is not None
+                if agg.arg.columns() & modified:
+                    return False
+    has_count = any(f == "count" for f in funcs)
+    if "avg" in funcs and not has_count:
+        return False
+    if removals and not has_count:
+        return False
+    return True
+
+
+def repair_modifications(schema: Schema, delta: Delta) -> Delta:
+    """Re-pair inserts/deletes that share a candidate key into modifies.
+
+    Propagation works on signed multisets internally; when the output schema
+    has a declared key, a (delete old, insert new) pair on the same key is
+    semantically a modification, and pairing it back up lets storage charge
+    read-modify-write (paper nodes N3/N4)."""
+    if not schema.keys or (not delta.inserts and not delta.deletes):
+        return delta
+    key = min(schema.keys, key=lambda k: (len(k), sorted(k)))
+    positions = [schema.index_of(a) for a in sorted(key)]
+    return delta.pair_modifications(positions)
+
+
+# -- unary operators -----------------------------------------------------------------
+
+
+def propagate_select(expr: Select, delta: Delta) -> Delta:
+    """σ commutes with deltas: filter every component."""
+    names = expr.input.schema.names
+
+    def passes(row: Row) -> bool:
+        return expr.predicate.eval(dict(zip(names, row)))
+
+    out = Delta(
+        inserts=eval_select(expr, delta.inserts),
+        deletes=eval_select(expr, delta.deletes),
+    )
+    for old, new in delta.modifies:
+        old_in, new_in = passes(old), passes(new)
+        if old_in and new_in:
+            out.modifies.append((old, new))
+        elif old_in:
+            out.deletes.add(old, 1)
+        elif new_in:
+            out.inserts.add(new, 1)
+    return out
+
+
+def propagate_project(expr: Project, delta: Delta, old_input: Multiset | None = None) -> Delta:
+    """π maps deltas row-wise; dedup needs the old input to detect 0↔1
+    transitions of distinct counts."""
+    if expr.dedup:
+        if old_input is None:
+            raise PropagationError("dedup projection requires the old input state")
+        plain = Project(expr.input, expr.outputs, dedup=False)
+        old_out_counts = eval_project(plain, old_input)
+        inner = propagate_project(plain, delta)
+        return _dedup_from_counts(old_out_counts, inner)
+    names = expr.input.schema.names
+
+    def map_row(row: Row) -> Row:
+        mapping = dict(zip(names, row))
+        return tuple(scalar.eval(mapping) for _, scalar in expr.outputs)
+
+    out = Delta(
+        inserts=eval_project(expr, delta.inserts),
+        deletes=eval_project(expr, delta.deletes),
+    )
+    for old, new in delta.modifies:
+        old_p, new_p = map_row(old), map_row(new)
+        if old_p != new_p:
+            out.modifies.append((old_p, new_p))
+    return out
+
+
+def propagate_dedup(
+    expr: DuplicateElim, delta: Delta, old_input: Multiset
+) -> Delta:
+    """δ emits an insert when a row's count rises from zero and a delete
+    when it falls to zero."""
+    return _dedup_from_counts(old_input, delta)
+
+
+def _dedup_from_counts(old_counts: Multiset, delta: Delta) -> Delta:
+    net = delta.net()
+    out = Delta()
+    for row, change in net.items():
+        before = old_counts.count(row)
+        after = before + change
+        if after < 0:
+            raise PropagationError(f"negative count for {row} after delta")
+        if before == 0 and after > 0:
+            out.inserts.add(row, 1)
+        elif before > 0 and after == 0:
+            out.deletes.add(row, 1)
+    return out
+
+
+# -- join ---------------------------------------------------------------------------
+
+
+def propagate_join(
+    expr: Join,
+    left_delta: Delta | None,
+    right_delta: Delta | None,
+    fetch_left: Fetch | None,
+    fetch_right: Fetch | None,
+) -> Delta:
+    """Δ(L ⋈ R) = ΔL ⋈ R_old  +  L_new ⋈ ΔR   (counting form).
+
+    ``fetch_left`` / ``fetch_right`` answer semijoin queries on the old
+    states (the paper's Q2Re/Q5Ld-style queries), keyed by the join columns.
+    A fetch is only invoked when the corresponding side has a delta, so an
+    unaffected side never requires one.
+    """
+    shared = expr.join_columns
+    left_schema, right_schema = expr.left.schema, expr.right.schema
+    left_pos = [left_schema.index_of(c) for c in shared]
+    right_pos = [right_schema.index_of(c) for c in shared]
+    out_net = Multiset()
+
+    left_net = left_delta.net() if left_delta is not None else Multiset()
+    right_net = right_delta.net() if right_delta is not None else Multiset()
+
+    if left_net:
+        if fetch_right is None:
+            raise PropagationError("left delta requires a fetch on the right input")
+        keys = {tuple(r[i] for i in left_pos) for r in left_net.rows()}
+        right_old = fetch_right(keys)
+        out_net.update(eval_join(expr, left_net, right_old))
+    if right_net:
+        if fetch_left is None:
+            raise PropagationError("right delta requires a fetch on the left input")
+        keys = {tuple(r[i] for i in right_pos) for r in right_net.rows()}
+        left_old = fetch_left(keys)
+        # L_new = L_old + ΔL restricted to the touched keys.
+        left_new = left_old.copy()
+        for row, count in left_net.items():
+            if tuple(row[i] for i in left_pos) in keys:
+                left_new.add(row, count)
+        out_net.update(eval_join(expr, left_new, right_net))
+
+    return repair_modifications(expr.schema, Delta.from_net(out_net))
+
+
+# -- aggregation ------------------------------------------------------------------------
+
+
+def affected_group_keys(expr: GroupAggregate, delta: Delta) -> set[tuple[Any, ...]]:
+    """The distinct group keys touched by an input delta."""
+    in_schema = expr.input.schema
+    positions = [in_schema.index_of(g) for g in expr.group_by]
+    keys: set[tuple[Any, ...]] = set()
+    for source in (delta.inserts.rows(), delta.deletes.rows()):
+        for row in source:
+            keys.add(tuple(row[i] for i in positions))
+    for old, new in delta.modifies:
+        keys.add(tuple(old[i] for i in positions))
+        keys.add(tuple(new[i] for i in positions))
+    return keys
+
+
+def propagate_aggregate_recompute(
+    expr: GroupAggregate, delta: Delta, fetch_group: Fetch
+) -> Delta:
+    """γ by re-computation: fetch each affected group's old input rows (the
+    paper's Q4e-style query), compute old and new aggregate rows."""
+    keys = affected_group_keys(expr, delta)
+    if not keys:
+        return Delta()
+    old_rows = fetch_group(keys)
+    return _aggregate_delta_from_states(expr, old_rows, delta, keys)
+
+
+def propagate_aggregate_full_groups(expr: GroupAggregate, delta: Delta) -> Delta:
+    """γ when the delta *covers whole groups* (delta-completeness, the
+    paper's key-based Q3d elimination): every affected group's old content
+    is exactly the delta's deleted side, so no input query is needed."""
+    keys = affected_group_keys(expr, delta)
+    if not keys:
+        return Delta()
+    old_rows = delta.all_deleted()
+    return _aggregate_delta_from_states(expr, old_rows, delta, keys)
+
+
+def _aggregate_delta_from_states(
+    expr: GroupAggregate,
+    old_rows: Multiset,
+    delta: Delta,
+    keys: set[tuple[Any, ...]],
+) -> Delta:
+    in_schema = expr.input.schema
+    names = in_schema.names
+    positions = [in_schema.index_of(g) for g in expr.group_by]
+
+    def group_of(row: Row) -> tuple[Any, ...]:
+        return tuple(row[i] for i in positions)
+
+    def partition(ms: Multiset) -> dict[tuple[Any, ...], list[tuple[Row, int]]]:
+        groups: dict[tuple[Any, ...], list[tuple[Row, int]]] = {}
+        for row, count in ms.items():
+            key = group_of(row)
+            if key in keys:
+                groups.setdefault(key, []).append((row, count))
+        return groups
+
+    old_by_group = partition(old_rows)
+    new_rows = old_rows.copy()
+    new_rows.update(delta.net())
+    if not new_rows.is_nonnegative():
+        raise PropagationError("aggregate input would have negative counts")
+    new_by_group = partition(new_rows)
+
+    out = Delta()
+    for key in keys:
+        old_group = old_by_group.get(key)
+        new_group = new_by_group.get(key)
+        old_row = None
+        if old_group:
+            aggs = tuple(compute_aggregate(s, old_group, names) for s in expr.aggregates)
+            old_row = key + aggs
+        new_row = None
+        if new_group:
+            aggs = tuple(compute_aggregate(s, new_group, names) for s in expr.aggregates)
+            new_row = key + aggs
+        if old_row is not None and new_row is not None:
+            if old_row != new_row:
+                out.modifies.append((old_row, new_row))
+        elif old_row is not None:
+            out.deletes.add(old_row, 1)
+        elif new_row is not None:
+            out.inserts.add(new_row, 1)
+    return repair_modifications(expr.schema, out)
+
+
+# -- union / difference --------------------------------------------------------------------
+
+
+def propagate_union(delta_left: Delta | None, delta_right: Delta | None) -> Delta:
+    """∪ (bag): deltas add."""
+    out = Delta()
+    for d in (delta_left, delta_right):
+        if d is None:
+            continue
+        out.inserts.update(d.inserts)
+        out.deletes.update(d.deletes)
+        out.modifies.extend(d.modifies)
+    return out
+
+
+def propagate_difference(
+    expr: Difference,
+    delta_left: Delta | None,
+    delta_right: Delta | None,
+    old_left: Multiset,
+    old_right: Multiset,
+) -> Delta:
+    """EXCEPT ALL (monus) is non-linear: recompute the affected rows.
+
+    Only rows mentioned in either delta can change, so the output delta is
+    computed from old/new counts of exactly those rows.
+    """
+    left_net = delta_left.net() if delta_left is not None else Multiset()
+    right_net = delta_right.net() if delta_right is not None else Multiset()
+    touched = set(left_net.rows()) | set(right_net.rows())
+    out_net = Multiset()
+    for row in touched:
+        old_count = max(old_left.count(row) - old_right.count(row), 0)
+        new_count = max(
+            old_left.count(row) + left_net.count(row)
+            - old_right.count(row) - right_net.count(row),
+            0,
+        )
+        out_net.add(row, new_count - old_count)
+    return repair_modifications(expr.schema, Delta.from_net(out_net))

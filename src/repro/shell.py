@@ -1,0 +1,202 @@
+"""An interactive SQL shell over a maintained database.
+
+``python -m repro shell`` loads the paper's corporate database, installs
+the DeptConstraint assertion with its optimizer-chosen auxiliary views, and
+accepts:
+
+* ``SELECT …`` — evaluated against the base relations (bag semantics);
+* ``INSERT / UPDATE / DELETE …`` — turned into deltas and propagated
+  incrementally to every materialized view, reporting the page I/Os spent
+  and any assertion violations the statement introduces or clears;
+* meta commands: ``\\views`` (materialized views and their contents
+  summary), ``\\plan`` (the maintenance plan), ``\\io`` (cumulative I/O),
+  ``\\check`` (current violations), ``\\help``, ``\\quit``.
+
+The engine object (:class:`ShellSession`) is importable and scriptable —
+the REPL is a thin loop over ``execute``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.evaluate import evaluate
+from repro.constraints.assertions import AssertionSystem
+from repro.sql import ast
+from repro.sql.dml import dml_to_delta, is_dml
+from repro.sql.lexer import SQLSyntaxError
+from repro.sql.parser import parse
+from repro.sql.translate import SQLTranslationError, _translate_select
+from repro.storage.database import Database
+from repro.workload.paperdb import (
+    DEPT_SCHEMA,
+    EMP_SCHEMA,
+    generate_corporate_db,
+)
+from repro.workload.transactions import Transaction, paper_transactions
+
+DEPT_CONSTRAINT = """
+CREATE ASSERTION DeptConstraint CHECK (NOT EXISTS (
+    SELECT Dept.DName FROM Emp, Dept
+    WHERE Dept.DName = Emp.DName
+    GROUPBY Dept.DName, Budget
+    HAVING SUM(Salary) > Budget))
+"""
+
+HELP = """\
+SELECT ... FROM ...            query the base relations
+INSERT INTO t VALUES (...)     apply DML; views maintained incrementally
+UPDATE t SET c = expr WHERE …
+DELETE FROM t WHERE …
+\\views    materialized views        \\plan    maintenance plan
+\\io       cumulative page I/O       \\check   current assertion violations
+\\help     this text                 \\quit    exit"""
+
+
+@dataclass
+class ShellResult:
+    """Outcome of one statement."""
+
+    kind: str  # 'rows' | 'dml' | 'meta' | 'error'
+    text: str
+    rows: list[tuple] = field(default_factory=list)
+    io_cost: int = 0
+
+
+class ShellSession:
+    """The scriptable engine behind ``python -m repro shell``."""
+
+    def __init__(self, n_depts: int = 50, emps_per_dept: int = 10, seed: int = 0) -> None:
+        self.db = Database()
+        data = generate_corporate_db(
+            n_depts, emps_per_dept, seed=seed, budget_range=(800, 1200)
+        )
+        self.db.create_relation("Dept", DEPT_SCHEMA, data["Dept"], indexes=[["DName"]])
+        self.db.create_relation("Emp", EMP_SCHEMA, data["Emp"], indexes=[["DName"]])
+        self.system = AssertionSystem(
+            self.db, [DEPT_CONSTRAINT], paper_transactions()
+        )
+        self._schemas = {"Dept": DEPT_SCHEMA, "Emp": EMP_SCHEMA}
+
+    # -- statement execution -----------------------------------------------------
+
+    def execute(self, text: str) -> ShellResult:
+        text = text.strip()
+        if not text:
+            return ShellResult("meta", "")
+        if text.startswith("\\"):
+            return self._meta(text)
+        try:
+            statement = parse(text)
+        except SQLSyntaxError as exc:
+            return ShellResult("error", f"syntax error: {exc}")
+        try:
+            if is_dml(statement):
+                return self._run_dml(statement)
+            if isinstance(statement, ast.SelectStmt):
+                return self._run_select(statement)
+        except (SQLTranslationError, Exception) as exc:  # noqa: BLE001 - REPL surface
+            return ShellResult("error", f"error: {exc}")
+        return ShellResult(
+            "error", "only SELECT and DML statements are supported here"
+        )
+
+    def _run_select(self, statement: ast.SelectStmt) -> ShellResult:
+        expr = _translate_select(statement, self._schemas, ())
+        result = evaluate(expr, self.db)
+        rows = sorted(result.expand())
+        header = ", ".join(expr.schema.names)
+        lines = [header] + [", ".join(str(v) for v in row) for row in rows[:20]]
+        if len(rows) > 20:
+            lines.append(f"... ({len(rows)} rows total)")
+        return ShellResult("rows", "\n".join(lines), rows=rows)
+
+    def _run_dml(self, statement) -> ShellResult:
+        relation, delta = dml_to_delta(statement, self.db)
+        if delta.is_empty:
+            return ShellResult("dml", "no rows affected")
+        before = self.db.counter.total
+        txn = Transaction("__shell", {relation: delta})
+        deltas = self.system.maintainer.apply_adhoc(txn)
+        cost = self.db.counter.total - before
+        pieces = [
+            f"{delta.inserts.total()} inserted, {delta.deletes.total()} deleted, "
+            f"{len(delta.modifies)} modified in {relation}; "
+            f"{cost} page I/Os of view maintenance"
+        ]
+        for name, root in self.system._roots.items():
+            d = deltas.get(self.system.dag.memo.find(root))
+            if d is None or d.is_empty:
+                continue
+            entered = d.all_inserted()
+            cleared = d.all_deleted()
+            if entered:
+                pieces.append(
+                    f"VIOLATION {name}: {sorted(entered.rows())}"
+                )
+            if cleared:
+                pieces.append(
+                    f"cleared {name}: {sorted(cleared.rows())}"
+                )
+        return ShellResult("dml", "\n".join(pieces), io_cost=cost)
+
+    # -- meta commands --------------------------------------------------------------
+
+    def _meta(self, command: str) -> ShellResult:
+        name = command.split()[0]
+        if name in ("\\q", "\\quit", "\\exit"):
+            return ShellResult("meta", "bye", rows=[("quit",)])
+        if name == "\\help":
+            return ShellResult("meta", HELP)
+        if name == "\\views":
+            lines = []
+            maintainer = self.system.maintainer
+            for gid in sorted(maintainer.marking):
+                group = maintainer.memo.group(gid)
+                if group.is_leaf:
+                    continue
+                contents = maintainer.view_contents(gid)
+                lines.append(
+                    f"N{gid} {group.schema}: {contents.total()} rows"
+                )
+            return ShellResult("meta", "\n".join(lines))
+        if name == "\\plan":
+            from repro.core.report import render_report
+
+            return ShellResult(
+                "meta",
+                render_report(
+                    self.system.dag,
+                    self.system.plan,
+                    self.system.txns,
+                    self.system.cost_model,
+                    self.system.estimator,
+                ),
+            )
+        if name == "\\io":
+            return ShellResult("meta", str(self.db.counter.snapshot()))
+        if name == "\\check":
+            lines = []
+            for assertion in self.system.assertions:
+                rows = self.system.current_violations(assertion)
+                status = "satisfied" if not rows else f"VIOLATED by {sorted(rows.rows())}"
+                lines.append(f"{assertion}: {status}")
+            return ShellResult("meta", "\n".join(lines))
+        return ShellResult("error", f"unknown command {name!r} (try \\help)")
+
+
+def run_repl() -> int:  # pragma: no cover - interactive loop
+    session = ShellSession()
+    print("repro shell — the paper's corporate database with DeptConstraint installed")
+    print("type \\help for commands")
+    while True:
+        try:
+            line = input("sql> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        result = session.execute(line)
+        if result.text:
+            print(result.text)
+        if result.kind == "meta" and result.rows == [("quit",)]:
+            return 0

@@ -1,0 +1,156 @@
+"""Abstract syntax trees for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+# -- scalar / boolean expressions ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly-qualified column reference (``Dept.DName`` or ``Budget``)."""
+
+    table: Optional[str]
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Arithmetic (``+ - * /``) over scalar expressions."""
+
+    op: str
+    left: "ScalarExpr"
+    right: "ScalarExpr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """``SUM(expr)``, ``COUNT(*)`` etc. — only inside SELECT/HAVING."""
+
+    func: str  # lowercase
+    arg: Optional["ScalarExpr"]  # None only for COUNT(*)
+
+    def __str__(self) -> str:
+        inner = "*" if self.arg is None else str(self.arg)
+        return f"{self.func.upper()}({inner})"
+
+
+ScalarExpr = Union[ColumnRef, Literal, BinaryOp, AggregateCall]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    op: str
+    left: ScalarExpr
+    right: ScalarExpr
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    op: str  # 'and' | 'or'
+    left: "Condition"
+    right: "Condition"
+
+
+@dataclass(frozen=True)
+class NotOp:
+    inner: "Condition"
+
+
+Condition = Union[Comparison, BoolOp, NotOp]
+
+
+# -- statements --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: ScalarExpr
+    alias: Optional[str] = None
+    star: bool = False  # SELECT *
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    items: tuple[SelectItem, ...]
+    tables: tuple[TableRef, ...]
+    where: Optional[Condition] = None
+    group_by: tuple[ColumnRef, ...] = ()
+    having: Optional[Condition] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class CreateView:
+    name: str
+    columns: tuple[str, ...]  # optional explicit output column names
+    select: SelectStmt
+
+
+@dataclass(frozen=True)
+class CreateAssertion:
+    """``CREATE ASSERTION name CHECK (NOT EXISTS (select))`` — the paper's
+    SQL-92 integrity constraints, modelled as views required to be empty."""
+
+    name: str
+    select: SelectStmt
+
+
+# -- data manipulation ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InsertStmt:
+    """``INSERT INTO t VALUES (…), (…)`` — literal rows only."""
+
+    table: str
+    rows: tuple[tuple[object, ...], ...]
+
+
+@dataclass(frozen=True)
+class DeleteStmt:
+    """``DELETE FROM t [WHERE …]``."""
+
+    table: str
+    where: Optional[Condition] = None
+
+
+@dataclass(frozen=True)
+class Assignment:
+    column: str
+    value: ScalarExpr
+
+
+@dataclass(frozen=True)
+class UpdateStmt:
+    """``UPDATE t SET c = expr, … [WHERE …]``."""
+
+    table: str
+    assignments: tuple[Assignment, ...]
+    where: Optional[Condition] = None

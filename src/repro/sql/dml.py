@@ -1,0 +1,114 @@
+"""SQL DML: INSERT / DELETE / UPDATE statements become deltas.
+
+The paper's transactions are abstract update specs; this module gives them
+SQL syntax. A DML statement evaluated against the stored database yields a
+per-relation :class:`~repro.ivm.delta.Delta`, which the maintenance
+machinery (e.g. the shell's :class:`~repro.ivm.maintainer.ViewMaintainer`)
+then propagates to every materialized view.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.predicates import Predicate, TruePred
+from repro.algebra.scalar import Scalar
+from repro.ivm.delta import Delta
+from repro.sql import ast
+from repro.sql.parser import parse
+from repro.sql.translate import SQLTranslationError, _AggregateCollector, _Scope
+from repro.storage.database import Database
+from repro.workload.transactions import Transaction
+
+DML_STATEMENTS = (ast.InsertStmt, ast.DeleteStmt, ast.UpdateStmt)
+
+
+def is_dml(statement: object) -> bool:
+    """Whether a parsed statement is INSERT, DELETE, or UPDATE."""
+    return isinstance(statement, DML_STATEMENTS)
+
+
+def _single_table_scope(db: Database, table: str) -> _Scope:
+    if table not in db:
+        raise SQLTranslationError(f"unknown relation {table!r}")
+    scope = _Scope()
+    scope.tables[table] = db.relation(table).schema
+    return scope
+
+
+def _translate_condition(
+    condition: ast.Condition | None, scope: _Scope
+) -> Predicate:
+    if condition is None:
+        return TruePred()
+    from repro.sql.translate import _translate_condition as translate
+
+    return translate(condition, scope, aggregates=None)
+
+
+def _translate_scalar(expr: ast.ScalarExpr, scope: _Scope) -> Scalar:
+    collector = _AggregateCollector(scope)
+    scalar = collector.translate(expr)
+    if collector.specs:
+        raise SQLTranslationError("aggregates are not allowed in DML expressions")
+    return scalar
+
+
+def dml_to_delta(statement, db: Database) -> tuple[str, Delta]:
+    """Evaluate one parsed DML statement against the current database state,
+    returning ``(relation name, delta)``. Nothing is applied."""
+    if isinstance(statement, ast.InsertStmt):
+        relation = db.relation(statement.table)
+        rows = [relation.schema.validate_tuple(row) for row in statement.rows]
+        return statement.table, Delta.insertion(rows)
+
+    if isinstance(statement, ast.DeleteStmt):
+        relation = db.relation(statement.table)
+        scope = _single_table_scope(db, statement.table)
+        predicate = _translate_condition(statement.where, scope)
+        predicate.validate(relation.schema)
+        names = relation.schema.names
+        doomed = [
+            row
+            for row in relation.contents().expand()
+            if predicate.eval(dict(zip(names, row)))
+        ]
+        return statement.table, Delta.deletion(doomed)
+
+    if isinstance(statement, ast.UpdateStmt):
+        relation = db.relation(statement.table)
+        schema = relation.schema
+        scope = _single_table_scope(db, statement.table)
+        predicate = _translate_condition(statement.where, scope)
+        predicate.validate(schema)
+        assignments: list[tuple[int, Scalar]] = []
+        for assignment in statement.assignments:
+            index = schema.index_of(assignment.column)
+            scalar = _translate_scalar(assignment.value, scope)
+            scalar.output_type(schema)  # type-check eagerly
+            assignments.append((index, scalar))
+        names = schema.names
+        pairs = []
+        for row in relation.contents().expand():
+            mapping = dict(zip(names, row))
+            if not predicate.eval(mapping):
+                continue
+            new = list(row)
+            for index, scalar in assignments:
+                new[index] = scalar.eval(mapping)
+            new_row = schema.validate_tuple(tuple(new))
+            if new_row != row:
+                pairs.append((row, new_row))
+        return statement.table, Delta.modification(pairs)
+
+    raise SQLTranslationError(f"not a DML statement: {type(statement).__name__}")
+
+
+def execute_dml_text(
+    text: str, db: Database, txn_name: str | None = None
+) -> Transaction:
+    """Parse + evaluate one DML statement; returns a Transaction (unapplied)."""
+    statement = parse(text)
+    if not is_dml(statement):
+        raise SQLTranslationError("expected an INSERT, DELETE, or UPDATE statement")
+    relation, delta = dml_to_delta(statement, db)
+    name = txn_name if txn_name is not None else type(statement).__name__
+    return Transaction(name, {relation: delta})

@@ -1,0 +1,118 @@
+"""Tokenizer for the SQL subset the paper uses.
+
+Covers CREATE VIEW / CREATE ASSERTION / SELECT–FROM–WHERE–GROUP BY–HAVING,
+identifiers (optionally qualified), string and numeric literals, the
+comparison and arithmetic operators, and parentheses/commas. Keywords are
+case-insensitive; ``GROUPBY`` is accepted as a synonym for ``GROUP BY``
+because the paper writes it that way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+KEYWORDS = {
+    "SELECT",
+    "DISTINCT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "GROUPBY",
+    "BY",
+    "HAVING",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "CREATE",
+    "VIEW",
+    "ASSERTION",
+    "CHECK",
+    "EXISTS",
+    "SUM",
+    "COUNT",
+    "MIN",
+    "MAX",
+    "AVG",
+    "UNION",
+    "ALL",
+    "EXCEPT",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "DELETE",
+    "UPDATE",
+    "SET",
+}
+
+SYMBOLS = ("<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", ",", "*", "+", "-", "/", ";", ".")
+
+
+class SQLSyntaxError(Exception):
+    """Raised on malformed SQL input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'keyword' | 'ident' | 'number' | 'string' | 'symbol' | 'eof'
+    value: str
+    position: int
+
+    def __str__(self) -> str:
+        return f"{self.value!r}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split SQL text into tokens (ending with an ``eof`` sentinel)."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":
+            newline = text.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            end = text.find("'", i + 1)
+            if end < 0:
+                raise SQLSyntaxError(f"unterminated string literal at {i}")
+            tokens.append(Token("string", text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot not followed by a digit terminates the number.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("number", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("keyword", word.upper(), i))
+            else:
+                tokens.append(Token("ident", word, i))
+            i = j
+            continue
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, i):
+                value = "!=" if symbol == "<>" else symbol
+                tokens.append(Token("symbol", value, i))
+                i += len(symbol)
+                break
+        else:
+            raise SQLSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("eof", "", n))
+    return tokens

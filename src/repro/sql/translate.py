@@ -1,0 +1,299 @@
+"""Translation from SQL ASTs to the relational algebra.
+
+The engine's algebra uses bare column names with natural-join semantics, so
+translation resolves qualified references (``Dept.DName`` → ``DName``),
+checks them against the FROM tables, drops join conditions the natural join
+already implies, renames join columns with mismatched names, and stacks
+
+    Project ∘ Select(HAVING) ∘ GroupAggregate ∘ Select(WHERE′) ∘ Join*
+
+in the classic order. Aggregates found in the SELECT list and HAVING clause
+become :class:`~repro.algebra.operators.AggSpec` entries with stable
+generated names.
+
+Self-joins (the same table twice without renaming every shared column) are
+outside the subset and rejected with a clear error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.algebra.operators import (
+    AggSpec,
+    GroupAggregate,
+    Join,
+    Project,
+    RelExpr,
+    Scan,
+    Select,
+)
+from repro.algebra.predicates import (
+    Compare,
+    Not,
+    Or,
+    Predicate,
+    conjunction,
+)
+from repro.algebra.scalar import Arith, Col, Const, Scalar
+from repro.algebra.schema import Schema
+from repro.sql import ast
+from repro.sql.parser import parse
+
+
+class SQLTranslationError(Exception):
+    """Raised when a statement is outside the supported subset or refers to
+    unknown tables/columns."""
+
+
+@dataclass
+class TranslationResult:
+    """A translated statement."""
+
+    name: str
+    expr: RelExpr
+    is_assertion: bool = False
+
+
+def translate_sql(text: str, schemas: Mapping[str, Schema]) -> TranslationResult:
+    """Parse and translate one statement against the given base schemas."""
+    statement = parse(text)
+    if isinstance(statement, ast.CreateView):
+        expr = _translate_select(statement.select, schemas, statement.columns)
+        return TranslationResult(statement.name, expr)
+    if isinstance(statement, ast.CreateAssertion):
+        expr = _translate_select(statement.select, schemas, ())
+        return TranslationResult(statement.name, expr, is_assertion=True)
+    expr = _translate_select(statement, schemas, ())
+    return TranslationResult("query", expr)
+
+
+# -- internals -------------------------------------------------------------------------
+
+
+@dataclass
+class _Scope:
+    """Name resolution over the FROM tables."""
+
+    tables: dict[str, Schema] = field(default_factory=dict)  # alias -> schema
+
+    def resolve(self, ref: ast.ColumnRef) -> str:
+        if ref.table is not None:
+            schema = self.tables.get(ref.table)
+            if schema is None:
+                raise SQLTranslationError(f"unknown table {ref.table!r} in {ref}")
+            if ref.column not in schema:
+                raise SQLTranslationError(f"no column {ref.column!r} in {ref.table}")
+            return schema.resolve(ref.column)
+        owners = [t for t, s in self.tables.items() if ref.column in s]
+        if not owners:
+            raise SQLTranslationError(f"unknown column {ref.column!r}")
+        return self.tables[owners[0]].resolve(ref.column)
+
+
+def _translate_select(
+    stmt: ast.SelectStmt,
+    schemas: Mapping[str, Schema],
+    out_columns: tuple[str, ...],
+) -> RelExpr:
+    scope = _Scope()
+    scans: dict[str, RelExpr] = {}
+    seen_names: set[str] = set()
+    for table in stmt.tables:
+        alias = table.alias or table.name
+        if table.name not in schemas:
+            raise SQLTranslationError(f"unknown relation {table.name!r}")
+        if alias in scope.tables or table.name in seen_names:
+            raise SQLTranslationError(
+                f"table {table.name!r} appears twice; self-joins are outside "
+                "the supported subset (rename columns via an intermediate view)"
+            )
+        seen_names.add(table.name)
+        scope.tables[alias] = schemas[table.name]
+        scans[alias] = Scan(table.name, schemas[table.name])
+
+    where_parts = _conjuncts(stmt.where)
+    residual: list[Predicate] = []
+    for condition in where_parts:
+        predicate = _translate_condition(condition, scope, aggregates=None)
+        if _is_implied_join_condition(predicate):
+            continue  # natural join equates same-named shared columns
+        residual.append(predicate)
+
+    expr = _join_tables(list(scans.values()))
+    if residual:
+        expr = Select(expr, conjunction(residual))
+
+    aggregates = _AggregateCollector(scope)
+    items = _expand_stars(stmt, scope)
+    outputs: list[tuple[str, Scalar]] = []
+    for i, item in enumerate(items):
+        scalar = aggregates.translate(item.expr)
+        name = item.alias or _default_name(item.expr, i, out_columns)
+        outputs.append((name, scalar))
+    if out_columns:
+        if len(out_columns) != len(outputs):
+            raise SQLTranslationError(
+                f"view declares {len(out_columns)} columns but selects {len(outputs)}"
+            )
+        outputs = [(out_columns[i], s) for i, (_, s) in enumerate(outputs)]
+
+    having = None
+    if stmt.having is not None:
+        having = _translate_condition(stmt.having, scope, aggregates)
+
+    if stmt.group_by or aggregates.specs:
+        if not stmt.group_by and any(
+            isinstance(s, Col) and s.name not in {a.out for a in aggregates.specs}
+            for _, s in outputs
+        ):
+            raise SQLTranslationError("non-aggregated column without GROUP BY")
+        group_cols = tuple(scope.resolve(c) for c in stmt.group_by)
+        expr = GroupAggregate(expr, group_cols, tuple(aggregates.specs))
+        if having is not None:
+            expr = Select(expr, having)
+    elif having is not None:
+        raise SQLTranslationError("HAVING without GROUP BY or aggregates")
+
+    # Outputs must reference grouping columns or aggregate outputs now.
+    expr = Project(expr, tuple(outputs), dedup=stmt.distinct)
+    return expr
+
+
+def _join_tables(tables: list[RelExpr]) -> RelExpr:
+    if not tables:
+        raise SQLTranslationError("empty FROM clause")
+    expr = tables[0]
+    for other in tables[1:]:
+        shared = set(expr.schema.names) & set(other.schema.names)
+        expr = Join(expr, other, allow_cartesian=not shared)
+    return expr
+
+
+def _conjuncts(condition: ast.Condition | None) -> list[ast.Condition]:
+    if condition is None:
+        return []
+    if isinstance(condition, ast.BoolOp) and condition.op == "and":
+        return _conjuncts(condition.left) + _conjuncts(condition.right)
+    return [condition]
+
+
+def _is_implied_join_condition(predicate: Predicate) -> bool:
+    """``a = a`` after resolution: the natural join already enforces it."""
+    if isinstance(predicate, Compare) and predicate.op == "=":
+        left, right = predicate.left, predicate.right
+        if isinstance(left, Col) and isinstance(right, Col):
+            return left.name == right.name
+    return False
+
+
+class _AggregateCollector:
+    """Collects AggregateCall occurrences into AggSpec entries with stable
+    names, replacing them by column references."""
+
+    def __init__(self, scope: _Scope) -> None:
+        self._scope = scope
+        self.specs: list[AggSpec] = []
+        self._by_call: dict[tuple, str] = {}
+
+    def translate(self, expr: ast.ScalarExpr) -> Scalar:
+        if isinstance(expr, ast.ColumnRef):
+            return Col(self._scope.resolve(expr))
+        if isinstance(expr, ast.Literal):
+            return Const(expr.value)
+        if isinstance(expr, ast.BinaryOp):
+            return Arith(expr.op, self.translate(expr.left), self.translate(expr.right))
+        if isinstance(expr, ast.AggregateCall):
+            return Col(self._register(expr))
+        raise SQLTranslationError(f"unsupported scalar expression {expr}")
+
+    def _register(self, call: ast.AggregateCall) -> str:
+        arg_scalar = None if call.arg is None else self.translate(call.arg)
+        if arg_scalar is not None and any(
+            isinstance(node, ast.AggregateCall) for node in _walk_ast(call.arg)
+        ):
+            raise SQLTranslationError("nested aggregates are not supported")
+        key = (call.func, arg_scalar)
+        if key in self._by_call:
+            return self._by_call[key]
+        base = call.func if call.arg is None else f"{call.func}_{_slug(arg_scalar)}"
+        name = base
+        suffix = 1
+        taken = {a.out for a in self.specs}
+        while name in taken:
+            suffix += 1
+            name = f"{base}_{suffix}"
+        self.specs.append(AggSpec(call.func, arg_scalar, name))
+        self._by_call[key] = name
+        return name
+
+
+def _walk_ast(expr: ast.ScalarExpr | None):
+    if expr is None:
+        return
+    yield expr
+    if isinstance(expr, ast.BinaryOp):
+        yield from _walk_ast(expr.left)
+        yield from _walk_ast(expr.right)
+    if isinstance(expr, ast.AggregateCall):
+        yield from _walk_ast(expr.arg)
+
+
+def _slug(scalar: Scalar | None) -> str:
+    if scalar is None:
+        return "all"
+    text = str(scalar)
+    return "".join(ch.lower() if ch.isalnum() else "_" for ch in text).strip("_")
+
+
+def _translate_condition(
+    condition: ast.Condition,
+    scope: _Scope,
+    aggregates: "_AggregateCollector | None",
+) -> Predicate:
+    collector = aggregates if aggregates is not None else _AggregateCollector(scope)
+    if isinstance(condition, ast.Comparison):
+        if aggregates is None and any(
+            isinstance(node, ast.AggregateCall)
+            for side in (condition.left, condition.right)
+            for node in _walk_ast(side)
+        ):
+            raise SQLTranslationError("aggregates are not allowed in WHERE")
+        return Compare(
+            condition.op,
+            collector.translate(condition.left),
+            collector.translate(condition.right),
+        )
+    if isinstance(condition, ast.BoolOp):
+        left = _translate_condition(condition.left, scope, aggregates)
+        right = _translate_condition(condition.right, scope, aggregates)
+        if condition.op == "and":
+            return conjunction([left, right])
+        return Or(left, right)
+    if isinstance(condition, ast.NotOp):
+        return Not(_translate_condition(condition.inner, scope, aggregates))
+    raise SQLTranslationError(f"unsupported condition {condition}")
+
+
+def _expand_stars(stmt: ast.SelectStmt, scope: _Scope) -> list[ast.SelectItem]:
+    items: list[ast.SelectItem] = []
+    for item in stmt.items:
+        if not item.star:
+            items.append(item)
+            continue
+        seen: set[str] = set()
+        for schema in scope.tables.values():
+            for column in schema.names:
+                if column not in seen:
+                    seen.add(column)
+                    items.append(ast.SelectItem(ast.ColumnRef(None, column)))
+    return items
+
+
+def _default_name(expr: ast.ScalarExpr, index: int, out_columns: tuple[str, ...]) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.column
+    if isinstance(expr, ast.AggregateCall):
+        return f"{expr.func}_{index}" if expr.arg is not None else expr.func
+    return f"col_{index}"

@@ -1,0 +1,66 @@
+"""The database: a catalog of stored relations sharing one I/O counter."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.algebra.multiset import Multiset, Row
+from repro.algebra.schema import Schema
+from repro.storage.pager import IOCounter
+from repro.storage.relation import StorageError, StoredRelation
+
+
+class Database:
+    """A named collection of :class:`StoredRelation` with shared accounting.
+
+    Implements the evaluator's ``RelationSource`` protocol *uncharged*
+    (``multiset``): full re-evaluation is the correctness oracle, not a
+    priced operation. Charged access goes through the relations' ``scan`` /
+    ``lookup`` methods.
+    """
+
+    def __init__(self) -> None:
+        self.counter = IOCounter()
+        self._relations: dict[str, StoredRelation] = {}
+
+    def create_relation(
+        self,
+        name: str,
+        schema: Schema,
+        rows: Iterable[Row] = (),
+        indexes: Iterable[Iterable[str]] = (),
+    ) -> StoredRelation:
+        if name in self._relations:
+            raise StorageError(f"relation {name!r} already exists")
+        relation = StoredRelation(name, schema, self.counter)
+        relation.load(rows)
+        for cols in indexes:
+            relation.create_index(cols)
+        self._relations[name] = relation
+        return relation
+
+    def drop_relation(self, name: str) -> None:
+        if name not in self._relations:
+            raise StorageError(f"relation {name!r} does not exist")
+        del self._relations[name]
+
+    def relation(self, name: str) -> StoredRelation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise StorageError(f"relation {name!r} does not exist") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[StoredRelation]:
+        return iter(self._relations.values())
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    # -- RelationSource protocol -----------------------------------------------------
+
+    def multiset(self, name: str) -> Multiset:
+        return self.relation(name).contents()

@@ -1,0 +1,126 @@
+"""Equi-depth histograms for selectivity estimation.
+
+The paper's examples use uniform data, where the classic 1/3 range guess is
+harmless; real columns are skewed. An equi-depth histogram (every bucket
+holds the same number of values) gives the estimator calibrated
+selectivities for range and equality predicates. Histograms are optional:
+:class:`~repro.storage.statistics.TableStats` carries them when collected,
+and the selectivity code falls back to the System-R constants otherwise.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """An equi-depth histogram over a numeric column.
+
+    ``bounds`` has ``buckets + 1`` entries; bucket *i* covers
+    ``[bounds[i], bounds[i+1])`` (the last bucket is closed on the right)
+    and holds ``depth`` values. ``distinct`` is the column's overall
+    distinct count, used for equality estimates.
+    """
+
+    bounds: tuple[float, ...]
+    depth: float
+    total: float
+    distinct: float
+
+    def __post_init__(self) -> None:
+        if len(self.bounds) < 2:
+            raise ValueError("histogram needs at least one bucket")
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be non-decreasing")
+
+    @property
+    def buckets(self) -> int:
+        return len(self.bounds) - 1
+
+    @property
+    def low(self) -> float:
+        return self.bounds[0]
+
+    @property
+    def high(self) -> float:
+        return self.bounds[-1]
+
+    # -- construction ---------------------------------------------------------------
+
+    @staticmethod
+    def build(values: Sequence[float], buckets: int = 10) -> "Histogram":
+        """Build an equi-depth histogram from concrete values."""
+        if not values:
+            raise ValueError("cannot build a histogram from no values")
+        ordered = sorted(float(v) for v in values)
+        n = len(ordered)
+        buckets = max(1, min(buckets, n))
+        bounds = [ordered[0]]
+        for i in range(1, buckets):
+            bounds.append(ordered[(i * n) // buckets])
+        bounds.append(ordered[-1])
+        return Histogram(
+            bounds=tuple(bounds),
+            depth=n / buckets,
+            total=float(n),
+            distinct=float(len(set(ordered))),
+        )
+
+    # -- estimation --------------------------------------------------------------------
+
+    def _fraction_below(self, value: float) -> float:
+        """Fraction of values strictly below ``value`` (linear interpolation
+        within the bucket)."""
+        if value <= self.low:
+            return 0.0
+        if value > self.high:
+            return 1.0
+        index = bisect.bisect_right(self.bounds, value) - 1
+        index = min(index, self.buckets - 1)
+        lo, hi = self.bounds[index], self.bounds[index + 1]
+        within = 0.0 if hi == lo else (value - lo) / (hi - lo)
+        return (index + within) / self.buckets
+
+    def selectivity(self, op: str, value: float) -> float:
+        """Estimated fraction of rows satisfying ``col <op> value``.
+
+        Ranges use the continuous (interpolated) approximation: ``<`` and
+        ``<=`` coincide, as do ``>`` and ``>=`` — the point mass at a single
+        value is below the histogram's resolution. Equality assumes the
+        uniform-distinct estimate inside the domain, zero outside.
+        """
+        if self.low == self.high:
+            # Degenerate single-value domain: exact point mass.
+            eq = 1.0 if value == self.low else 0.0
+            below = 1.0 if value > self.low else 0.0
+            at_or_below = 1.0 if value >= self.low else 0.0
+        else:
+            eq = (
+                1.0 / max(self.distinct, 1.0)
+                if self.low <= value <= self.high
+                else 0.0
+            )
+            below = at_or_below = self._fraction_below(value)
+        if op == "=":
+            return eq
+        if op == "!=":
+            return 1.0 - eq
+        # Domain boundaries are exact regardless of interpolation error.
+        if op == "<":
+            return 0.0 if value <= self.low else below
+        if op == "<=":
+            return 1.0 if value >= self.high else at_or_below
+        if op == ">":
+            return 0.0 if value >= self.high else max(0.0, 1.0 - at_or_below)
+        if op == ">=":
+            return 1.0 if value <= self.low else max(0.0, 1.0 - below)
+        raise ValueError(f"unknown comparison operator {op!r}")
+
+    def __str__(self) -> str:
+        return (
+            f"Histogram({self.buckets} buckets, [{self.low:g}, {self.high:g}], "
+            f"{self.total:g} rows, {self.distinct:g} distinct)"
+        )

@@ -1,0 +1,80 @@
+"""Hash indexes over stored relations.
+
+An index maps a key (values of the indexed columns) to the multiset of rows
+with that key. Following the paper's model, a probe costs one index-page
+I/O; maintenance touches one index page per distinct key, with a write only
+when the entry set for that key actually changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.algebra.multiset import Multiset, Row
+from repro.algebra.schema import Schema
+from repro.storage.pager import IOCounter
+
+
+class HashIndex:
+    """A hash index on a fixed tuple of columns."""
+
+    def __init__(self, schema: Schema, columns: tuple[str, ...], counter: IOCounter) -> None:
+        self.columns = tuple(schema.resolve(c) for c in columns)
+        self._positions = tuple(schema.index_of(c) for c in self.columns)
+        self._buckets: dict[tuple[Any, ...], Multiset] = {}
+        self._counter = counter
+
+    def key_of(self, row: Row) -> tuple[Any, ...]:
+        return tuple(row[i] for i in self._positions)
+
+    # -- probes -------------------------------------------------------------------
+
+    def probe(self, key: tuple[Any, ...]) -> Multiset:
+        """Look up a key: one index-page read, one tuple read per match."""
+        self._counter.charge_index_read()
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return Multiset()
+        self._counter.charge_tuple_read(bucket.total())
+        return bucket.copy()
+
+    def probe_free(self, key: tuple[Any, ...]) -> Multiset:
+        """Look up a key without charging I/O (used internally by storage
+        when tuples are already being paid for at the relation level)."""
+        bucket = self._buckets.get(key)
+        return bucket.copy() if bucket is not None else Multiset()
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def add(self, row: Row, count: int = 1) -> None:
+        key = self.key_of(row)
+        bucket = self._buckets.setdefault(key, Multiset())
+        bucket.add(row, count)
+        if not bucket:
+            del self._buckets[key]
+
+    def apply(self, delta: Multiset) -> tuple[int, int]:
+        """Apply a signed delta; returns (index pages read, pages written).
+
+        One page is read per distinct key touched, and written when the
+        key's entries changed — which they always do for a nonzero delta, so
+        writes equal the distinct-key count; the caller decides whether to
+        charge them (a modification that leaves the indexed key unchanged
+        does not need an index write in the paper's accounting, because the
+        tuple's bucket membership is unchanged).
+        """
+        keys = {self.key_of(row) for row, _ in delta.items()}
+        for row, count in delta.items():
+            self.add(row, count)
+        return len(keys), len(keys)
+
+    def keys_touched(self, rows: Iterable[Row]) -> int:
+        return len({self.key_of(r) for r in rows})
+
+    def distinct_keys(self) -> int:
+        return len(self._buckets)
+
+    def rebuild(self, data: Multiset) -> None:
+        self._buckets.clear()
+        for row, count in data.items():
+            self.add(row, count)

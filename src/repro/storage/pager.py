@@ -1,0 +1,100 @@
+"""Page-I/O accounting: the paper's Section 3.6 storage cost model.
+
+Assumptions copied from the paper: all indices are hash indices with no
+overflowed buckets; tuples are unclustered, so fetching a tuple costs one
+relation-page I/O; looking up a key costs one index-page I/O plus one page
+per tuple returned; updating a tuple costs one page read (old value) and one
+page write (new value); index pages are read (and written when the indexed
+key changes) once per distinct key touched.
+
+The :class:`IOCounter` is shared by every stored relation and index so a
+maintenance run can be measured end to end and compared with the analytic
+cost model in :mod:`repro.cost.page_io`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class IOStats:
+    """Immutable snapshot of I/O counts."""
+
+    index_reads: int = 0
+    index_writes: int = 0
+    tuple_reads: int = 0
+    tuple_writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.index_reads + self.index_writes + self.tuple_reads + self.tuple_writes
+
+    def __sub__(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            self.index_reads - other.index_reads,
+            self.index_writes - other.index_writes,
+            self.tuple_reads - other.tuple_reads,
+            self.tuple_writes - other.tuple_writes,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.total} I/Os (idx r/w {self.index_reads}/{self.index_writes}, "
+            f"tup r/w {self.tuple_reads}/{self.tuple_writes})"
+        )
+
+
+class IOCounter:
+    """Mutable page-I/O counter charged by storage operations."""
+
+    def __init__(self) -> None:
+        self._index_reads = 0
+        self._index_writes = 0
+        self._tuple_reads = 0
+        self._tuple_writes = 0
+        self.enabled = True
+
+    def charge_index_read(self, pages: int = 1) -> None:
+        if self.enabled:
+            self._index_reads += pages
+
+    def charge_index_write(self, pages: int = 1) -> None:
+        if self.enabled:
+            self._index_writes += pages
+
+    def charge_tuple_read(self, tuples: int = 1) -> None:
+        if self.enabled:
+            self._tuple_reads += tuples
+
+    def charge_tuple_write(self, tuples: int = 1) -> None:
+        if self.enabled:
+            self._tuple_writes += tuples
+
+    def snapshot(self) -> IOStats:
+        return IOStats(
+            self._index_reads, self._index_writes, self._tuple_reads, self._tuple_writes
+        )
+
+    def reset(self) -> None:
+        self._index_reads = self._index_writes = 0
+        self._tuple_reads = self._tuple_writes = 0
+
+    @property
+    def total(self) -> int:
+        return self.snapshot().total
+
+    class _Suspended:
+        def __init__(self, counter: "IOCounter") -> None:
+            self._counter = counter
+
+        def __enter__(self) -> None:
+            self._was_enabled = self._counter.enabled
+            self._counter.enabled = False
+
+        def __exit__(self, *exc) -> None:
+            self._counter.enabled = self._was_enabled
+
+    def suspended(self) -> "_Suspended":
+        """Context manager that disables charging (setup / verification)."""
+        return IOCounter._Suspended(self)

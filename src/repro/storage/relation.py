@@ -1,0 +1,178 @@
+"""Stored relations: multiset contents, hash indexes, charged maintenance.
+
+The charging policy implements the paper's Section 3.6 accounting exactly:
+
+* **lookup** — one index-page read plus one tuple-page read per match;
+* **modification** — per index, one index-page read per distinct key
+  touched (an index-page *write* only when the indexed columns change);
+  per tuple, one page read (old value) and one page write (new value);
+* **insertion** — one page write per tuple; per index, one index-page read
+  and one index-page write per distinct key;
+* **deletion** — one page write per tuple; per index, one index-page read
+  and one index-page write per distinct key.
+
+Declared candidate keys are enforced incrementally on every mutation, which
+is what licenses the optimizer's key-based reasoning (delta completeness,
+aggregate push-down).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.algebra.multiset import Multiset, Row
+from repro.algebra.schema import Schema
+from repro.ivm.delta import Delta
+from repro.storage.index import HashIndex
+from repro.storage.pager import IOCounter
+
+
+class StorageError(Exception):
+    """Raised for storage-level violations (missing index, key violation)."""
+
+
+class StoredRelation:
+    """A stored multiset relation with hash indexes and I/O accounting."""
+
+    def __init__(self, name: str, schema: Schema, counter: IOCounter | None = None) -> None:
+        self.name = name
+        self.schema = schema
+        self.counter = counter if counter is not None else IOCounter()
+        self._data = Multiset()
+        self._indexes: dict[tuple[str, ...], HashIndex] = {}
+        # One incremental uniqueness map per declared candidate key.
+        self._key_positions = {
+            key: tuple(schema.index_of(a) for a in sorted(key)) for key in schema.keys
+        }
+        self._key_maps: dict[frozenset[str], dict[tuple, int]] = {
+            key: {} for key in schema.keys
+        }
+
+    # -- indexes -----------------------------------------------------------------
+
+    def create_index(self, columns: Iterable[str]) -> HashIndex:
+        cols = tuple(self.schema.resolve(c) for c in columns)
+        if cols in self._indexes:
+            return self._indexes[cols]
+        index = HashIndex(self.schema, cols, self.counter)
+        index.rebuild(self._data)
+        self._indexes[cols] = index
+        return index
+
+    def index_on(self, columns: Iterable[str]) -> HashIndex | None:
+        cols = tuple(self.schema.resolve(c) for c in columns)
+        return self._indexes.get(cols)
+
+    @property
+    def indexes(self) -> tuple[tuple[str, ...], ...]:
+        return tuple(self._indexes)
+
+    # -- loading / reading ----------------------------------------------------------
+
+    def load(self, rows: Iterable[Row]) -> None:
+        """Bulk load (uncharged — initial materialization is outside the
+        paper's maintenance accounting)."""
+        with self.counter.suspended():
+            for row in rows:
+                self._apply_row(self.schema.validate_tuple(row), 1)
+
+    def load_multiset(self, data: Multiset) -> None:
+        with self.counter.suspended():
+            for row, count in data.items():
+                self._apply_row(self.schema.validate_tuple(row), count)
+
+    def contents(self) -> Multiset:
+        """Uncharged copy of the contents (verification / snapshots)."""
+        return self._data.copy()
+
+    def scan(self) -> Multiset:
+        """Full scan: one tuple-page read per tuple."""
+        self.counter.charge_tuple_read(self._data.total())
+        return self._data.copy()
+
+    def lookup(self, columns: Iterable[str], key: tuple[Any, ...]) -> Multiset:
+        """Indexed lookup: 1 index page + 1 page per matching tuple.
+
+        Raises :class:`StorageError` when no index on ``columns`` exists —
+        the executor decides explicitly when to fall back to a scan.
+        """
+        cols = tuple(self.schema.resolve(c) for c in columns)
+        index = self._indexes.get(cols)
+        if index is None:
+            raise StorageError(f"no index on {cols} for relation {self.name}")
+        return index.probe(key)
+
+    @property
+    def row_count(self) -> int:
+        return self._data.total()
+
+    # -- maintenance ------------------------------------------------------------------
+
+    def apply_delta(self, delta: Delta) -> None:
+        """Apply a delta with the paper's charging policy."""
+        self._charge_and_apply_modifies(delta.modifies)
+        self._charge_and_apply(delta.inserts, sign=+1)
+        self._charge_and_apply(delta.deletes, sign=-1)
+
+    def _charge_and_apply_modifies(self, modifies: list[tuple[Row, Row]]) -> None:
+        if not modifies:
+            return
+        for index in self._indexes.values():
+            keys_old = {index.key_of(old) for old, _ in modifies}
+            keys_new = {index.key_of(new) for _, new in modifies}
+            self.counter.charge_index_read(len(keys_old | keys_new))
+            changed_pages = {
+                key
+                for old, new in modifies
+                if index.key_of(old) != index.key_of(new)
+                for key in (index.key_of(old), index.key_of(new))
+            }
+            if changed_pages:
+                self.counter.charge_index_write(len(changed_pages))
+        # Remove all old values before adding any new ones so that
+        # key-swapping batches do not trip the uniqueness check transiently.
+        validated = []
+        for old, new in modifies:
+            old = self.schema.validate_tuple(old)
+            new = self.schema.validate_tuple(new)
+            if old not in self._data:
+                raise StorageError(f"modify of absent tuple {old} in {self.name}")
+            self.counter.charge_tuple_read(1)
+            self.counter.charge_tuple_write(1)
+            self._apply_row(old, -1)
+            validated.append(new)
+        for new in validated:
+            self._apply_row(new, 1)
+
+    def _charge_and_apply(self, rows: Multiset, sign: int) -> None:
+        if not rows:
+            return
+        for index in self._indexes.values():
+            keys = index.keys_touched(rows.rows())
+            self.counter.charge_index_read(keys)
+            self.counter.charge_index_write(keys)
+        for row, count in rows.items():
+            row = self.schema.validate_tuple(row)
+            if sign < 0 and self._data.count(row) < count:
+                raise StorageError(f"delete of absent tuple {row} from {self.name}")
+            self.counter.charge_tuple_write(count)
+            self._apply_row(row, sign * count)
+
+    def _apply_row(self, row: Row, count: int) -> None:
+        """Apply one row-count change to data, indexes, and key maps."""
+        for key, positions in self._key_positions.items():
+            kv = tuple(row[i] for i in positions)
+            key_map = self._key_maps[key]
+            new_count = key_map.get(kv, 0) + count
+            if new_count > 1:
+                raise StorageError(f"key {sorted(key)} violated in {self.name} by {kv}")
+            if new_count <= 0:
+                key_map.pop(kv, None)
+            else:
+                key_map[kv] = new_count
+        self._data.add(row, count)
+        for index in self._indexes.values():
+            index.add(row, count)
+
+    def __repr__(self) -> str:
+        return f"<StoredRelation {self.name}: {self.row_count} rows, {len(self._indexes)} indexes>"

@@ -1,0 +1,131 @@
+"""Catalog statistics: cardinalities and per-column distinct counts.
+
+The paper assumes "statistics about the inputs to an operation" from which
+delta sizes and query result sizes can be computed ("Our techniques are
+independent of the exact formulae ... although our examples use specific
+formulae"). We keep the same statistics its worked example needs: row
+counts and distinct value counts, from which fanouts (e.g. 10 employees per
+department) follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.storage.database import Database
+from repro.storage.histograms import Histogram
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics for one relation (base or derived).
+
+    ``histograms`` (optional, numeric columns) refine range/equality
+    selectivities; derived-node statistics do not carry them — estimation
+    falls back to the System-R constants above base level."""
+
+    rows: float
+    distinct: Mapping[str, float] = field(default_factory=dict)
+    histograms: Mapping[str, Histogram] = field(default_factory=dict)
+
+    def distinct_of(self, columns: Iterable[str]) -> float:
+        """Estimated distinct count of a column combination.
+
+        Independence assumption: product of per-column distinct counts,
+        capped by the row count. Unknown columns contribute the row count
+        (i.e. assumed unique), keeping estimates conservative.
+        """
+        cols = list(columns)
+        if not cols:
+            return 1.0
+        product = 1.0
+        for col in cols:
+            product *= self.distinct.get(col, self.rows)
+            if product >= self.rows:
+                return max(self.rows, 1.0)
+        return max(min(product, self.rows), 1.0)
+
+    def fanout(self, columns: Iterable[str]) -> float:
+        """Average number of rows per distinct key of ``columns``."""
+        if self.rows <= 0:
+            return 0.0
+        return self.rows / self.distinct_of(columns)
+
+    def scaled(self, selectivity: float) -> "TableStats":
+        """Stats after filtering with the given selectivity (histograms are
+        dropped: the filtered distribution is unknown)."""
+        rows = self.rows * selectivity
+        distinct = {c: min(d, rows) for c, d in self.distinct.items()}
+        return TableStats(rows, distinct)
+
+    def histogram_for(self, column: str) -> Histogram | None:
+        return self.histograms.get(column)
+
+
+class Catalog:
+    """Per-relation statistics, declared or collected from a database."""
+
+    def __init__(self, stats: Mapping[str, TableStats] | None = None) -> None:
+        self._stats: dict[str, TableStats] = dict(stats or {})
+
+    def set(self, name: str, stats: TableStats) -> None:
+        self._stats[name] = stats
+
+    def get(self, name: str) -> TableStats:
+        try:
+            return self._stats[name]
+        except KeyError:
+            raise KeyError(f"no statistics for relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    @staticmethod
+    def from_database(
+        db: Database, histogram_buckets: int = 10
+    ) -> "Catalog":
+        """Collect exact statistics (and numeric-column histograms, when
+        ``histogram_buckets`` > 0) from stored contents."""
+        from repro.algebra.types import DataType
+
+        catalog = Catalog()
+        for relation in db:
+            data = relation.contents()
+            rows = float(data.total())
+            distinct: dict[str, float] = {}
+            histograms: dict[str, Histogram] = {}
+            for i, column in enumerate(relation.schema.columns):
+                values = [row[i] for row in data.rows()]
+                distinct[column.name] = float(len(set(values)))
+                if (
+                    histogram_buckets > 0
+                    and values
+                    and column.dtype in (DataType.INT, DataType.FLOAT)
+                ):
+                    expanded = [row[i] for row in data.expand()]
+                    histograms[column.name] = Histogram.build(
+                        expanded, histogram_buckets
+                    )
+            catalog.set(relation.name, TableStats(rows, distinct, histograms))
+        return catalog
+
+    @staticmethod
+    def paper_catalog(
+        n_depts: int = 1000, emps_per_dept: int = 10, n_adepts: int = 20
+    ) -> "Catalog":
+        """The declared statistics of the paper's Section 3.6 example."""
+        n_emps = n_depts * emps_per_dept
+        return Catalog(
+            {
+                "Dept": TableStats(
+                    float(n_depts),
+                    {"DName": float(n_depts), "MName": float(n_depts), "Budget": 200.0},
+                ),
+                "Emp": TableStats(
+                    float(n_emps),
+                    {"EName": float(n_emps), "DName": float(n_depts), "Salary": 40.0},
+                ),
+                "ADepts": TableStats(float(n_adepts), {"DName": float(n_adepts)}),
+            }
+        )

@@ -1,0 +1,17 @@
+"""Workloads: transaction types, data generators, the paper's database."""
+
+from repro.workload.transactions import (
+    Transaction,
+    TransactionType,
+    UpdateSpec,
+    modify_txn,
+    paper_transactions,
+)
+
+__all__ = [
+    "Transaction",
+    "TransactionType",
+    "UpdateSpec",
+    "modify_txn",
+    "paper_transactions",
+]

@@ -1,0 +1,120 @@
+"""The paper's running example: the corporate database of Example 1.1.
+
+Relations::
+
+    Dept (DName, MName, Budget)   -- key DName
+    Emp  (EName, DName, Salary)   -- key EName
+
+Views::
+
+    ProblemDept  -- departments whose salary total exceeds their budget
+    SumOfSals    -- per-department salary totals (the auxiliary view N3)
+    ADeptsStatus -- Example 3.1, over the additional ADepts(DName) relation
+
+The sample dataset of Section 3.6: 1000 departments, 10000 employees,
+uniform 10 employees per department, single hash index on DName everywhere.
+"""
+
+from __future__ import annotations
+
+import random
+from repro.algebra.operators import (
+    AggSpec,
+    GroupAggregate,
+    Join,
+    Project,
+    Scan,
+    Select,
+)
+from repro.algebra.predicates import Compare
+from repro.algebra.scalar import Col, col
+from repro.algebra.schema import Schema
+from repro.algebra.types import DataType
+
+DEPT_SCHEMA = Schema.of(
+    ("DName", DataType.STRING),
+    ("MName", DataType.STRING),
+    ("Budget", DataType.INT),
+    keys=[["DName"]],
+)
+
+EMP_SCHEMA = Schema.of(
+    ("EName", DataType.STRING),
+    ("DName", DataType.STRING),
+    ("Salary", DataType.INT),
+    keys=[["EName"]],
+)
+
+ADEPTS_SCHEMA = Schema.of(("DName", DataType.STRING), keys=[["DName"]])
+
+
+def dept_scan() -> Scan:
+    return Scan("Dept", DEPT_SCHEMA)
+
+
+def emp_scan() -> Scan:
+    return Scan("Emp", EMP_SCHEMA)
+
+
+def adepts_scan() -> Scan:
+    return Scan("ADepts", ADEPTS_SCHEMA)
+
+
+def sum_of_sals_tree() -> GroupAggregate:
+    """CREATE VIEW SumOfSals(DName, SalSum) — the paper's auxiliary view."""
+    return GroupAggregate(emp_scan(), ("DName",), (AggSpec("sum", col("Salary"), "SalSum"),))
+
+
+def problem_dept_inner_tree() -> Select:
+    """ProblemDept before the final projection: σ[SalSum > Budget](γ(...))."""
+    joined = Join(emp_scan(), dept_scan())
+    agg = GroupAggregate(
+        joined, ("DName", "Budget"), (AggSpec("sum", col("Salary"), "SalSum"),)
+    )
+    return Select(agg, Compare(">", col("SalSum"), col("Budget")))
+
+
+def problem_dept_tree() -> Project:
+    """CREATE VIEW ProblemDept(DName) — the paper's main materialized view."""
+    return Project(problem_dept_inner_tree(), (("DName", Col("DName")),))
+
+
+def adepts_status_tree() -> GroupAggregate:
+    """CREATE VIEW ADeptsStatus(DName, Budget, SumSal) — Example 3.1."""
+    joined = Join(Join(emp_scan(), dept_scan()), adepts_scan())
+    return GroupAggregate(
+        joined, ("DName", "Budget"), (AggSpec("sum", col("Salary"), "SumSal"),)
+    )
+
+
+def generate_corporate_db(
+    n_depts: int = 1000,
+    emps_per_dept: int = 10,
+    seed: int = 0,
+    budget_range: tuple[int, int] = (400, 800),
+    salary_range: tuple[int, int] = (30, 70),
+) -> dict[str, list[tuple]]:
+    """Generate the Section 3.6 dataset: uniform employees per department.
+
+    Budgets and salaries are drawn so that a small fraction of departments
+    violate their budget (the paper assumes "the integrity constraint is
+    rarely violated").
+    """
+    rng = random.Random(seed)
+    depts = []
+    emps = []
+    for d in range(n_depts):
+        dname = f"dept{d:05d}"
+        depts.append((dname, f"mgr{d:05d}", rng.randint(*budget_range)))
+        for e in range(emps_per_dept):
+            emps.append((f"emp{d:05d}_{e:03d}", dname, rng.randint(*salary_range)))
+    return {"Dept": depts, "Emp": emps}
+
+
+def generate_adepts(
+    n_depts: int = 1000, n_adepts: int = 20, seed: int = 1
+) -> list[tuple]:
+    """A small ADepts relation (Example 3.1 assumes it is small)."""
+    rng = random.Random(seed)
+    chosen = rng.sample(range(n_depts), n_adepts)
+    return [(f"dept{d:05d}",) for d in sorted(chosen)]

@@ -1,0 +1,112 @@
+"""Integration: Example 3.1 — ADeptsStatus under updates only to ADepts.
+
+The paper's points: (1) the view-maintenance-optimal tree differs from the
+query-optimal tree; (2) with updates only to ADepts, materializing
+V1 = Dept ⋈ γ(Emp) makes update processing a cheap lookup, and V1 itself
+never needs maintenance.
+"""
+
+import pytest
+
+from repro.core.optimizer import evaluate_view_set, optimal_view_set
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import build_dag
+from repro.storage.statistics import Catalog
+from repro.workload.paperdb import adepts_status_tree
+from repro.workload.transactions import TransactionType, UpdateSpec
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dag = build_dag(adepts_status_tree())
+    estimator = DagEstimator(dag.memo, Catalog.paper_catalog())
+    cost_model = PageIOCostModel(
+        dag.memo, estimator, CostConfig(charge_root_update=False, root_group=dag.root)
+    )
+    adepts_txn = TransactionType(
+        ">ADepts", {"ADepts": UpdateSpec(inserts=0.5, deletes=0.5)}
+    )
+    return dag, estimator, cost_model, adepts_txn
+
+
+def _v1_group(dag):
+    """Find V1 = Dept ⋈ γ_{DName; SUM(Salary)}(Emp)."""
+    memo = dag.memo
+    for group in memo.groups():
+        if group.is_leaf:
+            continue
+        if set(group.schema.names) == {"Budget", "DName", "MName", "SumSal"}:
+            return group.id
+    raise AssertionError("V1 group not found in DAG")
+
+
+class TestOptimalChoice:
+    def test_adepts_free_auxiliary_selected(self, setup):
+        """The optimum materializes an auxiliary view that does not depend
+        on ADepts (so it needs no maintenance) and turns update processing
+        into a single lookup (cost 2). {V1} is among the tied optima —
+        the paper says '{V1} is *likely* the optimal set'."""
+        dag, estimator, cost_model, txn = setup
+        result = optimal_view_set(dag, [txn], cost_model, estimator)
+        extras = result.additional_views()
+        assert extras, "some auxiliary view must be materialized"
+        for gid in extras:
+            assert "ADepts" not in estimator.base_relations(gid)
+        assert result.best.weighted_cost == 2.0
+        v1 = dag.memo.find(_v1_group(dag))
+        tied = [
+            ev
+            for ev in result.evaluated
+            if ev.weighted_cost == result.best.weighted_cost
+        ]
+        assert any(v1 in ev.marking for ev in tied)
+
+    def test_v1_needs_no_maintenance(self, setup):
+        """No updates to Dept or Emp ⇒ V1's update cost is zero."""
+        dag, estimator, cost_model, txn = setup
+        v1 = _v1_group(dag)
+        assert not estimator.affected(v1, txn)
+        assert cost_model.update_cost(v1, txn) == 0.0
+
+    def test_v1_beats_nothing(self, setup):
+        dag, estimator, cost_model, txn = setup
+        v1 = dag.memo.find(_v1_group(dag))
+        with_v1 = evaluate_view_set(
+            dag.memo, frozenset({dag.root, v1}), [txn], cost_model, estimator
+        )
+        nothing = evaluate_view_set(
+            dag.memo, frozenset({dag.root}), [txn], cost_model, estimator
+        )
+        assert with_v1.weighted_cost < nothing.weighted_cost
+
+    def test_lookup_on_v1_is_cheap(self, setup):
+        dag, estimator, cost_model, txn = setup
+        v1 = dag.memo.find(_v1_group(dag))
+        marked = cost_model.lookup_cost(v1, ["DName"], 1, frozenset({v1}))
+        unmarked = cost_model.lookup_cost(v1, ["DName"], 1, frozenset())
+        assert marked == 2.0
+        assert unmarked > marked
+
+
+class TestWithMixedUpdates:
+    def test_tradeoff_when_emp_updates_exist(self, setup):
+        """Once Emp is updated too, V1's maintenance cost must be balanced
+        against its benefit (the paper's closing remark on Example 3.1)."""
+        dag, estimator, cost_model, adepts_txn = setup
+        emp_txn = TransactionType(
+            ">Emp",
+            {"Emp": UpdateSpec(modifies=1, modified_columns=frozenset({"Salary"}))},
+            weight=10.0,
+        )
+        v1 = dag.memo.find(_v1_group(dag))
+        with_v1 = evaluate_view_set(
+            dag.memo,
+            frozenset({dag.root, v1}),
+            [adepts_txn, emp_txn],
+            cost_model,
+            estimator,
+        )
+        # V1 now has a real maintenance bill for >Emp.
+        assert with_v1.per_txn[">Emp"].update_cost > 0

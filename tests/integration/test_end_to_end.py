@@ -1,0 +1,156 @@
+"""Integration: full pipeline on non-paper workloads.
+
+Chain joins and the sales schema exercise join re-association, multi-level
+tracks, insert/delete workloads, and plan execution with verification.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra.evaluate import evaluate
+from repro.core.heuristics import greedy_view_set
+from repro.core.optimizer import evaluate_view_set, optimal_view_set
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import build_dag
+from repro.ivm.delta import Delta
+from repro.ivm.maintainer import ViewMaintainer
+from repro.sql.translate import translate_sql
+from repro.storage.statistics import Catalog
+from repro.workload.generators import (
+    CUSTOMER_SCHEMA,
+    ITEM_SCHEMA,
+    ORDER_SCHEMA,
+    chain_view,
+    load_chain_database,
+    load_sales_database,
+)
+from repro.workload.transactions import Transaction, TransactionType, UpdateSpec
+
+
+class TestChainJoins:
+    @pytest.fixture(scope="class")
+    def chain(self):
+        db = load_chain_database(3, 60, seed=4)
+        view = chain_view(3, aggregate=True)
+        dag = build_dag(view)
+        estimator = DagEstimator(dag.memo, Catalog.from_database(db))
+        cost_model = PageIOCostModel(
+            dag.memo,
+            estimator,
+            CostConfig(charge_root_update=False, root_group=dag.root),
+        )
+        txns = (
+            TransactionType(
+                ">R1", {"R1": UpdateSpec(modifies=1, modified_columns=frozenset({"V1"}))}
+            ),
+            TransactionType(
+                ">R3", {"R3": UpdateSpec(modifies=1, modified_columns=frozenset({"V3"}))}
+            ),
+        )
+        return db, dag, estimator, cost_model, txns
+
+    def test_optimizer_runs(self, chain):
+        db, dag, estimator, cost_model, txns = chain
+        result = greedy_view_set(dag, txns, cost_model, estimator)
+        assert result.best.weighted_cost < float("inf")
+
+    def test_extra_views_help(self, chain):
+        db, dag, estimator, cost_model, txns = chain
+        result = greedy_view_set(dag, txns, cost_model, estimator)
+        nothing = evaluate_view_set(
+            dag.memo, frozenset({dag.root}), txns, cost_model, estimator
+        )
+        assert result.best.weighted_cost <= nothing.weighted_cost
+
+    def test_execution_maintains_correctly(self, chain):
+        db, dag, estimator, cost_model, txns = chain
+        result = greedy_view_set(dag, txns, cost_model, estimator)
+        tracks = {name: plan.track for name, plan in result.best.per_txn.items()}
+        maintainer = ViewMaintainer(
+            db, dag, result.best_marking, txns, tracks, estimator, cost_model
+        )
+        maintainer.materialize()
+        rng = random.Random(6)
+        for i in range(12):
+            rel = "R1" if i % 2 == 0 else "R3"
+            rows = sorted(db.relation(rel).contents().rows())
+            old = rng.choice(rows)
+            new = (old[0], old[1], old[2] + rng.randint(1, 5))
+            maintainer.apply(
+                Transaction(f">{rel}", {rel: Delta.modification([(old, new)])})
+            )
+            maintainer.verify()
+
+
+class TestSalesWorkload:
+    REVENUE_SQL = """
+    CREATE VIEW RegionRevenue (Region, Revenue) AS
+    SELECT Region, SUM(Quantity * Price)
+    FROM Orders, Items, Customers
+    WHERE Orders.Item = Items.Item AND Orders.CustId = Customers.CustId
+    GROUPBY Region
+    """
+
+    @pytest.fixture(scope="class")
+    def sales(self):
+        db = load_sales_database(seed=8, n_customers=40, n_items=20, n_orders=400)
+        schemas = {
+            "Customers": CUSTOMER_SCHEMA,
+            "Items": ITEM_SCHEMA,
+            "Orders": ORDER_SCHEMA,
+        }
+        view = translate_sql(self.REVENUE_SQL, schemas)
+        dag = build_dag(view.expr)
+        estimator = DagEstimator(dag.memo, Catalog.from_database(db))
+        cost_model = PageIOCostModel(
+            dag.memo,
+            estimator,
+            CostConfig(charge_root_update=True),
+        )
+        txns = (
+            TransactionType("order", {"Orders": UpdateSpec(inserts=1)}, weight=8.0),
+            TransactionType(
+                "reprice",
+                {"Items": UpdateSpec(modifies=1, modified_columns=frozenset({"Price"}))},
+                weight=1.0,
+            ),
+        )
+        return db, dag, estimator, cost_model, txns
+
+    def test_greedy_beats_nothing(self, sales):
+        db, dag, estimator, cost_model, txns = sales
+        result = greedy_view_set(dag, txns, cost_model, estimator)
+        nothing = evaluate_view_set(
+            dag.memo, frozenset({dag.root}), txns, cost_model, estimator
+        )
+        assert result.best.weighted_cost < nothing.weighted_cost
+
+    def test_execution_with_inserts(self, sales):
+        db, dag, estimator, cost_model, txns = sales
+        result = greedy_view_set(dag, txns, cost_model, estimator)
+        tracks = {name: plan.track for name, plan in result.best.per_txn.items()}
+        maintainer = ViewMaintainer(
+            db, dag, result.best_marking, txns, tracks, estimator, cost_model
+        )
+        maintainer.materialize()
+        rng = random.Random(9)
+        next_order = 1_000_000
+        for i in range(10):
+            if i % 3 != 2:
+                row = (
+                    next_order,
+                    rng.randrange(40),
+                    f"item{rng.randrange(20):04d}",
+                    rng.randint(1, 10),
+                )
+                next_order += 1
+                txn = Transaction("order", {"Orders": Delta.insertion([row])})
+            else:
+                old = rng.choice(sorted(db.relation("Items").contents().rows()))
+                new = (old[0], old[1] + 1, old[2])
+                txn = Transaction("reprice", {"Items": Delta.modification([(old, new)])})
+            maintainer.apply(txn)
+            maintainer.verify()

@@ -1,0 +1,119 @@
+"""Integration: transactions that update several relations at once.
+
+"Hire into a new department" touches Emp and Dept in one transaction; the
+join operator then receives deltas on *both* inputs and must compute
+ΔL ⋈ R_old + L_new ⋈ ΔR without double counting ΔL ⋈ ΔR.
+"""
+
+import random
+
+import pytest
+
+from repro.core.optimizer import evaluate_view_set
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import build_dag
+from repro.ivm.delta import Delta
+from repro.ivm.maintainer import ViewMaintainer
+from repro.storage.statistics import Catalog
+from repro.workload.paperdb import problem_dept_tree
+from repro.workload.transactions import Transaction, TransactionType, UpdateSpec
+
+BOTH = TransactionType(
+    "hire+found",
+    {
+        "Emp": UpdateSpec(inserts=1),
+        "Dept": UpdateSpec(inserts=1),
+    },
+)
+REORG = TransactionType(
+    "reorg",
+    {
+        "Emp": UpdateSpec(modifies=1, modified_columns=frozenset({"DName"})),
+        "Dept": UpdateSpec(modifies=1, modified_columns=frozenset({"Budget"})),
+    },
+)
+
+
+@pytest.fixture(params=[(), ("SumOfSals",), ("join",), ("SumOfSals", "join")])
+def maintainer(request, small_paper_db):
+    db = small_paper_db
+    dag = build_dag(problem_dept_tree())
+    name_to_gid = {}
+    for group in dag.memo.groups():
+        names = set(group.schema.names)
+        if names == {"DName", "SalSum"}:
+            name_to_gid["SumOfSals"] = group.id
+        if "Salary" in names and "Budget" in names:
+            name_to_gid["join"] = group.id
+    estimator = DagEstimator(dag.memo, Catalog.from_database(db))
+    cost_model = PageIOCostModel(dag.memo, estimator, CostConfig(root_group=dag.root))
+    txns = (BOTH, REORG)
+    marking = frozenset({dag.root, *(name_to_gid[n] for n in request.param)})
+    ev = evaluate_view_set(dag.memo, marking, txns, cost_model, estimator)
+    m = ViewMaintainer(
+        db,
+        dag,
+        marking,
+        txns,
+        {name: plan.track for name, plan in ev.per_txn.items()},
+        estimator,
+        cost_model,
+    )
+    m.materialize()
+    return db, m
+
+
+class TestMultiRelationTransactions:
+    def test_hire_into_new_department(self, maintainer):
+        """Both the new dept row and its first employee arrive together;
+        their join tuple must appear exactly once in every view."""
+        db, m = maintainer
+        txn = Transaction(
+            "hire+found",
+            {
+                "Emp": Delta.insertion([("newbie", "zzdept", 999)]),
+                "Dept": Delta.insertion([("zzdept", "boss", 10)]),
+            },
+        )
+        m.apply(txn)
+        m.verify()
+        # 999 > 10: the new department must show as a problem immediately.
+        from repro.dag.builder import build_dag as _bd
+
+        assert ("zzdept",) in m.view_contents(m.dag.root)
+
+    def test_simultaneous_modifies(self, maintainer):
+        db, m = maintainer
+        rng = random.Random(5)
+        for _ in range(6):
+            emp = rng.choice(sorted(db.relation("Emp").contents().rows()))
+            depts = sorted(db.relation("Dept").contents().rows())
+            dept = rng.choice(depts)
+            target = rng.choice(depts)[0]
+            txn = Transaction(
+                "reorg",
+                {
+                    "Emp": Delta.modification([(emp, (emp[0], target, emp[2]))]),
+                    "Dept": Delta.modification(
+                        [(dept, (dept[0], dept[1], dept[2] + rng.randint(-30, 30)))]
+                    ),
+                },
+            )
+            m.apply(txn)
+            m.verify()
+
+    def test_hire_and_reassign_interleaved(self, maintainer):
+        db, m = maintainer
+        rng = random.Random(6)
+        for i in range(4):
+            txn = Transaction(
+                "hire+found",
+                {
+                    "Emp": Delta.insertion([(f"h{i}", f"nd{i}", 50 + i)]),
+                    "Dept": Delta.insertion([(f"nd{i}", f"mgr{i}", 40)]),
+                },
+            )
+            m.apply(txn)
+            m.verify()

@@ -1,0 +1,138 @@
+"""Property-based tests: random streams over the ADeptsStatus DAG.
+
+Example 3.1's DAG is the richest in the paper — three relations, multiple
+join orders, aggregate push-down alternatives, implicit projections. Random
+markings and transaction streams must keep every materialized node equal to
+recomputation, whichever operation nodes the tracks route through.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimizer import evaluate_view_set
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import build_dag
+from repro.ivm.delta import Delta
+from repro.ivm.maintainer import ViewMaintainer
+from repro.storage.database import Database
+from repro.storage.statistics import Catalog
+from repro.workload.paperdb import (
+    ADEPTS_SCHEMA,
+    DEPT_SCHEMA,
+    EMP_SCHEMA,
+    adepts_status_tree,
+)
+from repro.workload.transactions import TransactionType, Transaction, UpdateSpec
+
+TXN_TYPES = (
+    TransactionType(
+        ">EmpSal",
+        {"Emp": UpdateSpec(modifies=1, modified_columns=frozenset({"Salary"}))},
+    ),
+    TransactionType("EmpIns", {"Emp": UpdateSpec(inserts=1)}),
+    TransactionType("EmpDel", {"Emp": UpdateSpec(deletes=1)}),
+    TransactionType(
+        ">DeptBud",
+        {"Dept": UpdateSpec(modifies=1, modified_columns=frozenset({"Budget"}))},
+    ),
+    TransactionType("AIns", {"ADepts": UpdateSpec(inserts=1)}),
+    TransactionType("ADel", {"ADepts": UpdateSpec(deletes=1)}),
+)
+
+POOL = [f"d{i}" for i in range(4)]
+
+
+def _build(seed: int, marking_bits: int):
+    rng = random.Random(seed)
+    db = Database()
+    depts = [(n, "m", rng.randint(50, 200)) for n in POOL[: rng.randint(1, 4)]]
+    emps = [
+        (f"e{i}", rng.choice(POOL), rng.randint(10, 90))
+        for i in range(rng.randint(0, 7))
+    ]
+    adepts = [(d[0],) for d in depts if rng.random() < 0.5]
+    db.create_relation("Dept", DEPT_SCHEMA, depts, indexes=[["DName"]])
+    db.create_relation("Emp", EMP_SCHEMA, emps, indexes=[["DName"]])
+    db.create_relation("ADepts", ADEPTS_SCHEMA, adepts, indexes=[["DName"]])
+
+    dag = build_dag(adepts_status_tree())
+    estimator = DagEstimator(dag.memo, Catalog.from_database(db))
+    cost_model = PageIOCostModel(dag.memo, estimator, CostConfig(root_group=dag.root))
+    candidates = sorted(
+        g for g in dag.candidate_groups() if dag.memo.find(g) != dag.root
+    )
+    marking = {dag.root}
+    for i, gid in enumerate(candidates):
+        if marking_bits & (1 << (i % 16)):
+            marking.add(dag.memo.find(gid))
+    ev = evaluate_view_set(
+        dag.memo, frozenset(marking), TXN_TYPES, cost_model, estimator
+    )
+    maintainer = ViewMaintainer(
+        db,
+        dag,
+        marking,
+        TXN_TYPES,
+        {name: plan.track for name, plan in ev.per_txn.items()},
+        estimator,
+        cost_model,
+    )
+    maintainer.materialize()
+    return db, maintainer, rng
+
+
+def _make_txn(kind: str, db: Database, rng: random.Random) -> Transaction | None:
+    emps = sorted(db.relation("Emp").contents().rows())
+    depts = sorted(db.relation("Dept").contents().rows())
+    adepts = sorted(db.relation("ADepts").contents().rows())
+    if kind == ">EmpSal" and emps:
+        old = rng.choice(emps)
+        return Transaction(
+            kind,
+            {"Emp": Delta.modification([(old, (old[0], old[1], old[2] + rng.randint(1, 9)))])},
+        )
+    if kind == "EmpIns":
+        return Transaction(
+            kind,
+            {"Emp": Delta.insertion([(f"x{rng.randrange(10**9)}", rng.choice(POOL), 20)])},
+        )
+    if kind == "EmpDel" and emps:
+        return Transaction(kind, {"Emp": Delta.deletion([rng.choice(emps)])})
+    if kind == ">DeptBud" and depts:
+        old = rng.choice(depts)
+        return Transaction(
+            kind,
+            {"Dept": Delta.modification([(old, (old[0], old[1], old[2] + rng.randint(-30, 30)))])},
+        )
+    if kind == "AIns":
+        existing = {a[0] for a in adepts}
+        free = [d[0] for d in depts if d[0] not in existing]
+        if not free:
+            return None
+        return Transaction(kind, {"ADepts": Delta.insertion([(rng.choice(free),)])})
+    if kind == "ADel" and adepts:
+        return Transaction(kind, {"ADepts": Delta.deletion([rng.choice(adepts)])})
+    return None
+
+
+class TestADeptsStreams:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        marking_bits=st.integers(0, 2**16 - 1),
+        kinds=st.lists(
+            st.sampled_from([t.name for t in TXN_TYPES]), min_size=1, max_size=8
+        ),
+    )
+    def test_incremental_equals_recompute(self, seed, marking_bits, kinds):
+        db, maintainer, rng = _build(seed, marking_bits)
+        for kind in kinds:
+            txn = _make_txn(kind, db, rng)
+            if txn is None:
+                continue
+            maintainer.apply(txn)
+            maintainer.verify()

@@ -1,0 +1,58 @@
+"""Property-based tests: functional-dependency reasoning."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cost.fds import FDSet
+
+ATTRS = list("abcdef")
+
+attr_sets = st.frozensets(st.sampled_from(ATTRS), min_size=1, max_size=3)
+fd_pairs = st.tuples(attr_sets, attr_sets)
+fd_sets = st.lists(fd_pairs, max_size=5).map(
+    lambda pairs: FDSet(tuple((frozenset(d), frozenset(r)) for d, r in pairs))
+)
+
+
+class TestClosure:
+    @given(fd_sets, attr_sets)
+    def test_extensive(self, fds, attrs):
+        assert fds.closure(attrs) >= attrs
+
+    @given(fd_sets, attr_sets)
+    def test_idempotent(self, fds, attrs):
+        once = fds.closure(attrs)
+        assert fds.closure(once) == once
+
+    @given(fd_sets, attr_sets, attr_sets)
+    def test_monotone(self, fds, a, b):
+        assert fds.closure(a) <= fds.closure(a | b)
+
+
+class TestReduce:
+    @given(fd_sets, attr_sets)
+    def test_subset_of_input(self, fds, attrs):
+        assert fds.reduce(attrs) <= attrs
+
+    @given(fd_sets, attr_sets)
+    def test_closure_preserved(self, fds, attrs):
+        assert fds.closure(fds.reduce(attrs)) >= fds.closure(attrs)
+
+    @given(fd_sets, attr_sets)
+    def test_minimal(self, fds, attrs):
+        reduced = fds.reduce(attrs)
+        target = fds.closure(attrs)
+        for attr in reduced:
+            assert not fds.closure(reduced - {attr}) >= target
+
+    @given(fd_sets, attr_sets)
+    def test_deterministic(self, fds, attrs):
+        assert fds.reduce(attrs) == fds.reduce(attrs)
+
+
+class TestRestrict:
+    @given(fd_sets, attr_sets, attr_sets)
+    def test_restricted_fds_are_implied(self, fds, cols, probe):
+        restricted = fds.restrict(cols)
+        for determinant, determined in restricted.fds:
+            assert fds.implies(determinant, determined)

@@ -1,0 +1,62 @@
+"""Property-based tests: histogram estimates are calibrated and coherent."""
+
+import operator
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.histograms import Histogram
+
+value_lists = st.lists(
+    st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestCoherence:
+    @given(value_lists, st.floats(-2e6, 2e6, allow_nan=False))
+    @settings(max_examples=120, deadline=None)
+    def test_selectivities_in_unit_interval(self, values, probe):
+        h = Histogram.build(values)
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            s = h.selectivity(op, probe)
+            assert 0.0 <= s <= 1.0
+
+    @given(value_lists, st.floats(-2e6, 2e6, allow_nan=False))
+    @settings(max_examples=120, deadline=None)
+    def test_complements(self, values, probe):
+        h = Histogram.build(values)
+        assert h.selectivity("<", probe) + h.selectivity(">=", probe) == 1.0
+        assert h.selectivity("<=", probe) + h.selectivity(">", probe) == 1.0
+        assert h.selectivity("=", probe) + h.selectivity("!=", probe) == 1.0
+
+    @given(value_lists, st.floats(-2e6, 2e6, allow_nan=False), st.floats(0, 1e5, allow_nan=False))
+    @settings(max_examples=120, deadline=None)
+    def test_monotone_in_threshold(self, values, probe, delta):
+        h = Histogram.build(values)
+        assert h.selectivity("<", probe) <= h.selectivity("<", probe + delta)
+        assert h.selectivity(">", probe) >= h.selectivity(">", probe + delta)
+
+    @given(value_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_extremes(self, values):
+        h = Histogram.build(values)
+        assert h.selectivity("<", h.low) == 0.0
+        assert h.selectivity(">", h.high) == 0.0
+        assert h.selectivity("<=", h.high) == 1.0
+        assert h.selectivity(">=", h.low) == 1.0
+
+
+class TestCalibration:
+    @given(
+        st.lists(st.integers(0, 1000), min_size=30, max_size=300),
+        st.integers(-50, 1050),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_range_error_bounded_by_bucket(self, values, probe):
+        """The interpolated estimate is within ~two buckets of the truth."""
+        h = Histogram.build(values, buckets=10)
+        truth = sum(1 for v in values if v < probe) / len(values)
+        estimate = h.selectivity("<", probe)
+        assert abs(estimate - truth) <= 2.0 / h.buckets + 1e-9

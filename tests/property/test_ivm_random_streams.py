@@ -1,0 +1,157 @@
+"""Property-based tests: incremental maintenance equals recomputation for
+random transaction streams, across random view sets (markings).
+
+This is the repository's deepest invariant: whatever the optimizer decides
+to materialize and whichever update track it runs, after every transaction
+each materialized view must equal from-scratch evaluation.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.evaluate import evaluate
+from repro.core.optimizer import evaluate_view_set
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import build_dag
+from repro.ivm.delta import Delta
+from repro.ivm.maintainer import ViewMaintainer
+from repro.storage.database import Database
+from repro.storage.statistics import Catalog
+from repro.workload.paperdb import (
+    DEPT_SCHEMA,
+    EMP_SCHEMA,
+    problem_dept_tree,
+)
+from repro.workload.transactions import TransactionType, Transaction, UpdateSpec
+
+# Transaction types covering inserts, deletes, and modifications of both
+# relations — each declared loosely (sizes are estimates, instances vary).
+TXN_TYPES = (
+    TransactionType(
+        ">EmpSal", {"Emp": UpdateSpec(modifies=1, modified_columns=frozenset({"Salary"}))}
+    ),
+    TransactionType(
+        ">EmpDept", {"Emp": UpdateSpec(modifies=1, modified_columns=frozenset({"DName"}))}
+    ),
+    TransactionType("EmpIns", {"Emp": UpdateSpec(inserts=1)}),
+    TransactionType("EmpDel", {"Emp": UpdateSpec(deletes=1)}),
+    TransactionType(
+        ">DeptBud",
+        {"Dept": UpdateSpec(modifies=1, modified_columns=frozenset({"Budget"}))},
+    ),
+    TransactionType("DeptIns", {"Dept": UpdateSpec(inserts=1)}),
+    TransactionType("DeptDel", {"Dept": UpdateSpec(deletes=1)}),
+)
+
+DEPT_POOL = [f"dp{i}" for i in range(5)]
+
+
+def _make_txn(kind: str, db: Database, rng: random.Random) -> Transaction | None:
+    emps = sorted(db.relation("Emp").contents().rows())
+    depts = sorted(db.relation("Dept").contents().rows())
+    if kind == ">EmpSal" and emps:
+        old = rng.choice(emps)
+        return Transaction(
+            kind, {"Emp": Delta.modification([(old, (old[0], old[1], old[2] + rng.randint(1, 9)))])}
+        )
+    if kind == ">EmpDept" and emps:
+        old = rng.choice(emps)
+        return Transaction(
+            kind,
+            {"Emp": Delta.modification([(old, (old[0], rng.choice(DEPT_POOL), old[2]))])},
+        )
+    if kind == "EmpIns":
+        name = f"e{rng.randrange(10**9)}"
+        row = (name, rng.choice(DEPT_POOL), rng.randint(0, 99))
+        return Transaction(kind, {"Emp": Delta.insertion([row])})
+    if kind == "EmpDel" and emps:
+        return Transaction(kind, {"Emp": Delta.deletion([rng.choice(emps)])})
+    if kind == ">DeptBud" and depts:
+        old = rng.choice(depts)
+        return Transaction(
+            kind,
+            {"Dept": Delta.modification([(old, (old[0], old[1], old[2] + rng.randint(-30, 30)))])},
+        )
+    if kind == "DeptIns":
+        existing = {d[0] for d in depts}
+        free = [d for d in DEPT_POOL if d not in existing]
+        if not free:
+            return None
+        return Transaction(
+            kind, {"Dept": Delta.insertion([(rng.choice(free), "m", rng.randint(0, 150))])}
+        )
+    if kind == "DeptDel" and depts:
+        return Transaction(kind, {"Dept": Delta.deletion([rng.choice(depts)])})
+    return None
+
+
+def _build(seed: int, marking_bits: int):
+    rng = random.Random(seed)
+    db = Database()
+    depts = [
+        (name, "m", rng.randint(0, 150))
+        for name in DEPT_POOL[: rng.randint(1, 4)]
+    ]
+    emps = [
+        (f"e{i}", rng.choice(DEPT_POOL), rng.randint(0, 99))
+        for i in range(rng.randint(0, 8))
+    ]
+    db.create_relation("Dept", DEPT_SCHEMA, depts, indexes=[["DName"]])
+    db.create_relation("Emp", EMP_SCHEMA, emps, indexes=[["DName"]])
+
+    dag = build_dag(problem_dept_tree())
+    estimator = DagEstimator(dag.memo, Catalog.from_database(db))
+    cost_model = PageIOCostModel(
+        dag.memo, estimator, CostConfig(root_group=dag.root)
+    )
+    candidates = sorted(
+        g for g in dag.candidate_groups() if dag.memo.find(g) != dag.root
+    )
+    marking = {dag.root}
+    for i, gid in enumerate(candidates):
+        if marking_bits & (1 << i):
+            marking.add(dag.memo.find(gid))
+    ev = evaluate_view_set(
+        dag.memo, frozenset(marking), TXN_TYPES, cost_model, estimator
+    )
+    tracks = {name: plan.track for name, plan in ev.per_txn.items()}
+    maintainer = ViewMaintainer(
+        db, dag, marking, TXN_TYPES, tracks, estimator, cost_model
+    )
+    maintainer.materialize()
+    return db, dag, maintainer, rng
+
+
+class TestRandomStreams:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        marking_bits=st.integers(0, 15),
+        kinds=st.lists(
+            st.sampled_from([t.name for t in TXN_TYPES]), min_size=1, max_size=10
+        ),
+    )
+    def test_incremental_equals_recompute(self, seed, marking_bits, kinds):
+        db, dag, maintainer, rng = _build(seed, marking_bits)
+        for kind in kinds:
+            txn = _make_txn(kind, db, rng)
+            if txn is None:
+                continue
+            maintainer.apply(txn)
+            maintainer.verify()
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_full_marking_stream(self, seed):
+        """Every candidate materialized simultaneously."""
+        db, dag, maintainer, rng = _build(seed, 0b1111)
+        for kind in ["EmpIns", ">DeptBud", ">EmpDept", "EmpDel", "DeptIns", "DeptDel"]:
+            txn = _make_txn(kind, db, rng)
+            if txn is None:
+                continue
+            maintainer.apply(txn)
+            maintainer.verify()

@@ -1,0 +1,70 @@
+"""Property-based tests: multiset algebra laws."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra.multiset import Multiset
+
+rows = st.tuples(st.integers(0, 5), st.integers(0, 3))
+counted = st.dictionaries(rows, st.integers(-4, 4), max_size=8)
+
+
+def ms(d):
+    return Multiset(d)
+
+
+class TestGroupLaws:
+    @given(counted, counted)
+    def test_addition_commutes(self, a, b):
+        assert ms(a) + ms(b) == ms(b) + ms(a)
+
+    @given(counted, counted, counted)
+    def test_addition_associates(self, a, b, c):
+        assert (ms(a) + ms(b)) + ms(c) == ms(a) + (ms(b) + ms(c))
+
+    @given(counted)
+    def test_identity(self, a):
+        assert ms(a) + Multiset() == ms(a)
+
+    @given(counted)
+    def test_inverse(self, a):
+        assert ms(a) + ms(a).negate() == Multiset()
+
+    @given(counted, counted)
+    def test_subtraction_is_negated_addition(self, a, b):
+        assert ms(a) - ms(b) == ms(a) + ms(b).negate()
+
+
+class TestDecomposition:
+    @given(counted)
+    def test_positive_negative_partition(self, a):
+        m = ms(a)
+        assert m.positive_part() - m.negative_part() == m
+
+    @given(counted)
+    def test_total_abs_bounds_total(self, a):
+        m = ms(a)
+        assert abs(m.total()) <= m.total_abs()
+
+    @given(counted)
+    def test_copy_equal(self, a):
+        assert ms(a).copy() == ms(a)
+
+
+class TestMonus:
+    @given(counted, counted)
+    def test_monus_nonnegative(self, a, b):
+        result = ms(a).positive_part().monus(ms(b).positive_part())
+        assert result.is_nonnegative()
+
+    @given(counted, counted)
+    def test_monus_bounded_by_left(self, a, b):
+        left = ms(a).positive_part()
+        result = left.monus(ms(b).positive_part())
+        for row, count in result.items():
+            assert count <= left.count(row)
+
+    @given(counted)
+    def test_monus_self_empty(self, a):
+        left = ms(a).positive_part()
+        assert not left.monus(left)

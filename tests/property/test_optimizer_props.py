@@ -1,0 +1,128 @@
+"""Property-based tests: optimizer invariants.
+
+* the exhaustive best is a lower bound for every evaluated view set;
+* enlarging a marking never increases the pure query cost of a transaction
+  (materialized views only help queries — monotonicity);
+* shielding never changes the optimum, only the work done;
+* greedy never beats exhaustive but never does worse than ∅.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heuristics import greedy_view_set
+from repro.core.optimizer import evaluate_view_set, optimal_view_set
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import build_dag
+from repro.storage.statistics import Catalog, TableStats
+from repro.workload.paperdb import problem_dept_tree
+from repro.workload.transactions import modify_txn
+
+# Randomized catalogs: vary table sizes and fanouts.
+catalogs = st.builds(
+    lambda depts, fanout: Catalog(
+        {
+            "Dept": TableStats(
+                float(depts),
+                {"DName": float(depts), "MName": float(depts), "Budget": 50.0},
+            ),
+            "Emp": TableStats(
+                float(depts * fanout),
+                {
+                    "EName": float(depts * fanout),
+                    "DName": float(depts),
+                    "Salary": 30.0,
+                },
+            ),
+        }
+    ),
+    depts=st.integers(2, 5000),
+    fanout=st.integers(1, 50),
+)
+
+weights = st.tuples(
+    st.floats(0.1, 10.0, allow_nan=False), st.floats(0.1, 10.0, allow_nan=False)
+)
+
+
+def _setup(catalog, w_emp=1.0, w_dept=1.0):
+    dag = build_dag(problem_dept_tree())
+    estimator = DagEstimator(dag.memo, catalog)
+    cost_model = PageIOCostModel(
+        dag.memo, estimator, CostConfig(charge_root_update=False, root_group=dag.root)
+    )
+    txns = (
+        modify_txn(">Emp", "Emp", {"Salary"}, weight=w_emp),
+        modify_txn(">Dept", "Dept", {"Budget"}, weight=w_dept),
+    )
+    return dag, estimator, cost_model, txns
+
+
+class TestExhaustive:
+    @settings(max_examples=20, deadline=None)
+    @given(catalogs, weights)
+    def test_best_is_minimum(self, catalog, ws):
+        dag, estimator, cost_model, txns = _setup(catalog, *ws)
+        result = optimal_view_set(dag, txns, cost_model, estimator)
+        assert result.best.weighted_cost == min(
+            ev.weighted_cost for ev in result.evaluated
+        )
+        assert math.isfinite(result.best.weighted_cost)
+
+    @settings(max_examples=20, deadline=None)
+    @given(catalogs)
+    def test_marking_monotone_for_queries(self, catalog):
+        """Query cost with {root, X} ≤ query cost with {root} per txn."""
+        dag, estimator, cost_model, txns = _setup(catalog)
+        base = evaluate_view_set(
+            dag.memo, frozenset({dag.root}), txns, cost_model, estimator
+        )
+        for extra in dag.candidate_groups():
+            extra = dag.memo.find(extra)
+            if extra == dag.root:
+                continue
+            marked = evaluate_view_set(
+                dag.memo,
+                frozenset({dag.root, extra}),
+                txns,
+                cost_model,
+                estimator,
+            )
+            for name in marked.per_txn:
+                assert (
+                    marked.per_txn[name].query_cost
+                    <= base.per_txn[name].query_cost + 1e-9
+                )
+
+
+class TestShielding:
+    @settings(max_examples=15, deadline=None)
+    @given(catalogs, weights)
+    def test_shielding_preserves_optimum(self, catalog, ws):
+        dag, estimator, cost_model, txns = _setup(catalog, *ws)
+        exhaustive = optimal_view_set(dag, txns, cost_model, estimator)
+        shielded = optimal_view_set(
+            dag, txns, cost_model, estimator, shielding=True
+        )
+        assert shielded.best.weighted_cost == exhaustive.best.weighted_cost
+
+
+class TestGreedy:
+    @settings(max_examples=15, deadline=None)
+    @given(catalogs, weights)
+    def test_greedy_bounded(self, catalog, ws):
+        dag, estimator, cost_model, txns = _setup(catalog, *ws)
+        exhaustive = optimal_view_set(dag, txns, cost_model, estimator)
+        greedy = greedy_view_set(dag, txns, cost_model, estimator)
+        nothing = evaluate_view_set(
+            dag.memo, frozenset({dag.root}), txns, cost_model, estimator
+        )
+        assert (
+            exhaustive.best.weighted_cost
+            <= greedy.best.weighted_cost + 1e-9
+        )
+        assert greedy.best.weighted_cost <= nothing.weighted_cost + 1e-9

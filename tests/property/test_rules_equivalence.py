@@ -1,0 +1,114 @@
+"""Property-based tests: every equivalence rule is semantics-preserving on
+random databases, and so is the whole expression DAG (every group's ops
+compute the same relation)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.evaluate import evaluate
+from repro.algebra.multiset import Multiset
+from repro.dag.builder import build_dag
+from repro.ivm.maintainer import group_expression
+from repro.workload.paperdb import (
+    adepts_status_tree,
+    problem_dept_tree,
+)
+
+DEPT_NAMES = ["d0", "d1", "d2", "d3"]
+
+
+@st.composite
+def corporate_db(draw):
+    """A random small corporate database respecting the declared keys."""
+    n_depts = draw(st.integers(0, 4))
+    depts = []
+    for i in range(n_depts):
+        budget = draw(st.integers(0, 200))
+        depts.append((DEPT_NAMES[i], f"m{i}", budget))
+    n_emps = draw(st.integers(0, 8))
+    emps = []
+    for i in range(n_emps):
+        dept = draw(st.sampled_from(DEPT_NAMES))  # may dangle: no FK assumed
+        salary = draw(st.integers(0, 100))
+        emps.append((f"e{i}", dept, salary))
+    n_adepts = draw(st.integers(0, 3))
+    adepts = [(DEPT_NAMES[i],) for i in range(n_adepts)]
+    return {
+        "Emp": Multiset(emps),
+        "Dept": Multiset(depts),
+        "ADepts": Multiset(adepts),
+    }
+
+
+def project_onto(result: Multiset, from_names, onto_names) -> Multiset:
+    positions = [from_names.index(n) for n in onto_names]
+    out = Multiset()
+    for row, count in result.items():
+        out.add(tuple(row[i] for i in positions), count)
+    return out
+
+
+def assert_dag_consistent(view, db):
+    """Every operation node of every group computes the group's relation."""
+    dag = build_dag(view)
+    memo = dag.memo
+    for group in memo.groups():
+        if group.is_leaf:
+            continue
+        reference = None
+        for op in group.ops:
+            children = tuple(group_expression(memo, c) for c in op.child_ids)
+            expr = op.template.with_children(children)
+            result = evaluate(expr, db)
+            if op.projection is not None:
+                result = project_onto(
+                    result, expr.schema.names, op.projection
+                )
+            if reference is None:
+                reference = result
+            else:
+                assert result == reference, (
+                    f"group {group.id} op {op.id} disagrees"
+                )
+
+
+class TestDagSoundness:
+    @settings(max_examples=40, deadline=None)
+    @given(corporate_db())
+    def test_problem_dept_dag(self, db):
+        assert_dag_consistent(problem_dept_tree(), db)
+
+    @settings(max_examples=25, deadline=None)
+    @given(corporate_db())
+    def test_adepts_status_dag(self, db):
+        assert_dag_consistent(adepts_status_tree(), db)
+
+    @settings(max_examples=25, deadline=None)
+    @given(corporate_db())
+    def test_root_result_stable_across_trees(self, db):
+        """All full expression trees of the DAG agree on the view result."""
+        from repro.core.heuristics import enumerate_trees
+
+        dag = build_dag(problem_dept_tree())
+        memo = dag.memo
+        reference = evaluate(problem_dept_tree(), db)
+        for tree in enumerate_trees(memo, dag.root):
+            # Build the concrete expression for this tree choice.
+            def expr_of(gid):
+                gid = memo.find(gid)
+                group = memo.group(gid)
+                if group.is_leaf:
+                    return group.ops[0].template
+                op = tree[gid]
+                children = tuple(expr_of(c) for c in op.child_ids)
+                built = op.template.with_children(children)
+                if op.projection is not None:
+                    from repro.algebra.operators import Project
+                    from repro.algebra.scalar import Col
+
+                    built = Project(
+                        built, tuple((n, Col(n)) for n in op.projection)
+                    )
+                return built
+
+            assert evaluate(expr_of(dag.root), db) == reference

@@ -1,0 +1,92 @@
+"""Unit tests for signed multisets."""
+
+import pytest
+
+from repro.algebra.multiset import Multiset
+
+
+class TestBasics:
+    def test_from_rows_counts(self):
+        ms = Multiset([(1,), (1,), (2,)])
+        assert ms.count((1,)) == 2
+        assert ms.count((2,)) == 1
+        assert ms.count((3,)) == 0
+
+    def test_zero_counts_never_stored(self):
+        ms = Multiset()
+        ms.add((1,), 2)
+        ms.add((1,), -2)
+        assert (1,) not in ms
+        assert not ms
+
+    def test_negative_counts_allowed(self):
+        ms = Multiset()
+        ms.add((1,), -3)
+        assert ms.count((1,)) == -3
+        assert not ms.is_nonnegative()
+
+    def test_total_and_abs(self):
+        ms = Multiset({(1,): 2, (2,): -3})
+        assert ms.total() == -1
+        assert ms.total_abs() == 5
+
+    def test_distinct_size_and_len(self):
+        ms = Multiset([(1,), (1,), (2,)])
+        assert ms.distinct_size == 2
+        assert len(ms) == 2
+
+    def test_expand(self):
+        ms = Multiset([(1,), (1,)])
+        assert sorted(ms.expand()) == [(1,), (1,)]
+
+    def test_expand_negative_raises(self):
+        ms = Multiset({(1,): -1})
+        with pytest.raises(ValueError):
+            list(ms.expand())
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Multiset())
+
+
+class TestAlgebra:
+    def test_add(self):
+        a = Multiset({(1,): 1})
+        b = Multiset({(1,): 2, (2,): 1})
+        assert (a + b).count((1,)) == 3
+
+    def test_sub_goes_negative(self):
+        a = Multiset({(1,): 1})
+        b = Multiset({(1,): 2})
+        assert (a - b).count((1,)) == -1
+
+    def test_negate(self):
+        ms = Multiset({(1,): 2}).negate()
+        assert ms.count((1,)) == -2
+
+    def test_monus_clamps(self):
+        a = Multiset({(1,): 1, (2,): 3})
+        b = Multiset({(1,): 5, (2,): 1})
+        m = a.monus(b)
+        assert m.count((1,)) == 0
+        assert m.count((2,)) == 2
+
+    def test_positive_negative_parts(self):
+        ms = Multiset({(1,): 2, (2,): -3})
+        assert ms.positive_part().count((1,)) == 2
+        assert ms.negative_part().count((2,)) == 3  # returned positive
+
+    def test_copy_is_independent(self):
+        a = Multiset({(1,): 1})
+        b = a.copy()
+        b.add((1,), 1)
+        assert a.count((1,)) == 1
+
+    def test_equality(self):
+        assert Multiset([(1,), (2,)]) == Multiset([(2,), (1,)])
+        assert Multiset([(1,)]) != Multiset([(1,), (1,)])
+
+    def test_update_with_scale(self):
+        a = Multiset({(1,): 1})
+        a.update(Multiset({(1,): 2}), scale=-1)
+        assert a.count((1,)) == -1

@@ -1,0 +1,92 @@
+"""Unit tests for predicates and canonical conjunctions."""
+
+import pytest
+
+from repro.algebra.predicates import (
+    And,
+    Compare,
+    Not,
+    Or,
+    TruePred,
+    conjunction,
+)
+from repro.algebra.scalar import col, lit
+from repro.algebra.schema import Schema
+from repro.algebra.types import DataType, TypeError_
+
+SCHEMA = Schema.of(("a", DataType.INT), ("b", DataType.INT), ("s", DataType.STRING))
+
+
+class TestCompare:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("=", False), ("!=", True), ("<", True), ("<=", True), (">", False), (">=", False)],
+    )
+    def test_all_operators(self, op, expected):
+        assert Compare(op, col("a"), col("b")).eval({"a": 1, "b": 2}) is expected
+
+    def test_unknown_op(self):
+        with pytest.raises(TypeError_):
+            Compare("~", col("a"), col("b"))
+
+    def test_validate_ok(self):
+        Compare("<", col("a"), lit(3)).validate(SCHEMA)
+
+    def test_validate_type_error(self):
+        with pytest.raises(TypeError_):
+            Compare("<", col("a"), col("s")).validate(SCHEMA)
+
+    def test_is_equijoin_condition(self):
+        assert Compare("=", col("a"), col("b")).is_equijoin_condition() == ("a", "b")
+        assert Compare("<", col("a"), col("b")).is_equijoin_condition() is None
+        assert Compare("=", col("a"), lit(1)).is_equijoin_condition() is None
+
+    def test_rename(self):
+        renamed = Compare("=", col("a"), col("b")).rename({"a": "x"})
+        assert renamed == Compare("=", col("x"), col("b"))
+
+
+class TestBooleans:
+    def test_true_pred(self):
+        assert TruePred().eval({})
+        assert TruePred().conjuncts() == ()
+
+    def test_not(self):
+        assert Not(TruePred()).eval({}) is False
+
+    def test_or(self):
+        p = Or(Compare("=", col("a"), lit(1)), Compare("=", col("a"), lit(2)))
+        assert p.eval({"a": 2})
+        assert not p.eval({"a": 3})
+
+    def test_and_columns(self):
+        p = conjunction([Compare("=", col("a"), lit(1)), Compare("<", col("b"), lit(2))])
+        assert p.columns() == {"a", "b"}
+
+
+class TestConjunction:
+    def test_empty_is_true(self):
+        assert conjunction([]) == TruePred()
+
+    def test_singleton_unwrapped(self):
+        c = Compare("=", col("a"), lit(1))
+        assert conjunction([c]) == c
+
+    def test_flattens_and_sorts(self):
+        c1 = Compare("=", col("a"), lit(1))
+        c2 = Compare("<", col("b"), lit(2))
+        left = conjunction([c1, c2])
+        right = conjunction([conjunction([c2]), c1])
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_dedupes(self):
+        c = Compare("=", col("a"), lit(1))
+        assert conjunction([c, c]) == c
+
+    def test_eval_semantics(self):
+        p = conjunction(
+            [Compare(">", col("a"), lit(0)), Compare("<", col("a"), lit(10))]
+        )
+        assert p.eval({"a": 5})
+        assert not p.eval({"a": 50})

@@ -1,0 +1,284 @@
+"""Unit tests for the equivalence rules.
+
+Every rule is checked both structurally (produces the expected shape) and
+semantically: evaluating the rewritten expression, projected onto the
+original's columns, gives the original result on concrete databases.
+"""
+
+import pytest
+
+from repro.algebra.evaluate import evaluate
+from repro.algebra.multiset import Multiset
+from repro.algebra.operators import (
+    AggSpec,
+    GroupAggregate,
+    Join,
+    Project,
+    RelExpr,
+    Scan,
+    Select,
+)
+from repro.algebra.predicates import Compare, conjunction
+from repro.algebra.rules import (
+    JoinAssociate,
+    MergeSelects,
+    PullSelectAboveJoin,
+    PushAggregateBelowJoin,
+    PushSelectBelowJoin,
+    default_rules,
+)
+from repro.algebra.scalar import Col, col, lit
+from repro.algebra.schema import Schema
+from repro.algebra.types import DataType
+from repro.workload.paperdb import adepts_scan, dept_scan, emp_scan
+
+DB = {
+    "Emp": Multiset(
+        [("a", "toys", 50), ("b", "toys", 60), ("c", "books", 40), ("d", "toys", 30)]
+    ),
+    "Dept": Multiset([("toys", "m1", 100), ("books", "m2", 90)]),
+    "ADepts": Multiset([("toys",)]),
+}
+
+
+def assert_equivalent(original: RelExpr, rewritten: RelExpr, db=DB) -> None:
+    """Rewritten result, projected onto the original's columns, matches."""
+    expected = evaluate(original, db)
+    actual = evaluate(rewritten, db)
+    if set(rewritten.schema.names) != set(original.schema.names):
+        assert set(rewritten.schema.names) >= set(original.schema.names)
+        positions = [rewritten.schema.names.index(n) for n in original.schema.names]
+        projected = Multiset()
+        for row, count in actual.items():
+            projected.add(tuple(row[i] for i in positions), count)
+        actual = projected
+    elif rewritten.schema.names != original.schema.names:
+        positions = [rewritten.schema.names.index(n) for n in original.schema.names]
+        projected = Multiset()
+        for row, count in actual.items():
+            projected.add(tuple(row[i] for i in positions), count)
+        actual = projected
+    assert actual == expected
+
+
+class TestPushSelectBelowJoin:
+    def test_pushes_single_side_conjunct(self):
+        join = Join(emp_scan(), dept_scan())
+        sel = Select(join, Compare(">", col("Salary"), lit(45)))
+        results = list(PushSelectBelowJoin().apply(sel))
+        assert len(results) == 1
+        pushed = results[0]
+        assert isinstance(pushed, Join)
+        assert isinstance(pushed.left, Select)
+        assert_equivalent(sel, pushed)
+
+    def test_splits_mixed_conjuncts(self):
+        join = Join(emp_scan(), dept_scan())
+        pred = conjunction(
+            [
+                Compare(">", col("Salary"), lit(45)),
+                Compare(">", col("Budget"), lit(95)),
+                Compare("<", col("Salary"), col("Budget")),
+            ]
+        )
+        sel = Select(join, pred)
+        (result,) = PushSelectBelowJoin().apply(sel)
+        assert isinstance(result, Select)  # the cross-side conjunct stays
+        assert isinstance(result.input, Join)
+        assert_equivalent(sel, result)
+
+    def test_no_match_when_nothing_pushes(self):
+        join = Join(emp_scan(), dept_scan())
+        sel = Select(join, Compare("<", col("Salary"), col("Budget")))
+        assert list(PushSelectBelowJoin().apply(sel)) == []
+
+    def test_no_match_on_non_join(self):
+        sel = Select(emp_scan(), Compare(">", col("Salary"), lit(0)))
+        assert list(PushSelectBelowJoin().apply(sel)) == []
+
+
+class TestPullSelectAboveJoin:
+    def test_pulls_left(self):
+        inner = Select(emp_scan(), Compare(">", col("Salary"), lit(45)))
+        join = Join(inner, dept_scan())
+        results = list(PullSelectAboveJoin().apply(join))
+        assert len(results) == 1
+        assert isinstance(results[0], Select)
+        assert_equivalent(join, results[0])
+
+    def test_pulls_both_sides(self):
+        join = Join(
+            Select(emp_scan(), Compare(">", col("Salary"), lit(45))),
+            Select(dept_scan(), Compare(">", col("Budget"), lit(95))),
+        )
+        results = list(PullSelectAboveJoin().apply(join))
+        assert len(results) == 2
+        for result in results:
+            assert_equivalent(join, result)
+
+
+class TestMergeSelects:
+    def test_merges(self):
+        inner = Select(emp_scan(), Compare(">", col("Salary"), lit(40)))
+        outer = Select(inner, Compare("<", col("Salary"), lit(55)))
+        (merged,) = MergeSelects().apply(outer)
+        assert isinstance(merged, Select)
+        assert isinstance(merged.input, Scan)
+        assert_equivalent(outer, merged)
+
+
+class TestJoinAssociate:
+    def test_reassociates(self):
+        abc = Join(Join(emp_scan(), dept_scan()), adepts_scan())
+        results = list(JoinAssociate().apply(abc))
+        assert results
+        for result in results:
+            assert isinstance(result, Join)
+            assert_equivalent(abc, result)
+
+    def test_no_cartesian_inner(self):
+        x = Scan("X", Schema.of(("P", DataType.INT), ("Q", DataType.INT), keys=[["P"]]))
+        y = Scan("Y", Schema.of(("Q", DataType.INT), ("R", DataType.INT), keys=[["Q"]]))
+        z = Scan("Z", Schema.of(("R", DataType.INT), ("S", DataType.INT), keys=[["R"]]))
+        # ((X ⋈ Y) ⋈ Z): inner pair (X, Z) shares nothing and must not be
+        # produced; (Y, Z) shares R and is fine.
+        tree = Join(Join(x, y), z)
+        results = list(JoinAssociate().apply(tree))
+        for result in results:
+            assert isinstance(result.right, Join)
+            shared = set(result.right.left.schema.names) & set(
+                result.right.right.schema.names
+            )
+            assert shared
+
+
+class TestPushAggregateBelowJoin:
+    def _agg_over_join(self):
+        join = Join(emp_scan(), dept_scan())
+        return GroupAggregate(
+            join, ("DName", "Budget"), (AggSpec("sum", col("Salary"), "SalSum"),)
+        )
+
+    def test_produces_paper_rewrite(self):
+        (result,) = PushAggregateBelowJoin().apply(self._agg_over_join())
+        assert isinstance(result, Join)
+        pre = result.left if isinstance(result.left, GroupAggregate) else result.right
+        assert isinstance(pre, GroupAggregate)
+        assert pre.group_by == ("DName",)
+        assert_equivalent(self._agg_over_join(), result)
+
+    def test_requires_join_cols_in_group(self):
+        join = Join(emp_scan(), dept_scan())
+        agg = GroupAggregate(join, ("Budget",), (AggSpec("sum", col("Salary"), "S"),))
+        assert list(PushAggregateBelowJoin().apply(agg)) == []
+
+    def test_requires_key_on_other_side(self):
+        # Join on a non-key of the other side: no push.
+        x = Scan(
+            "X",
+            Schema.of(("DName", DataType.STRING), ("W", DataType.INT)),
+        )
+        join = Join(emp_scan(), x)
+        agg = GroupAggregate(join, ("DName",), (AggSpec("sum", col("Salary"), "S"),))
+        assert list(PushAggregateBelowJoin().apply(agg)) == []
+
+    def test_count_star_pushes(self):
+        join = Join(emp_scan(), dept_scan())
+        agg = GroupAggregate(join, ("DName", "Budget"), (AggSpec("count", None, "N"),))
+        (result,) = PushAggregateBelowJoin().apply(agg)
+        assert_equivalent(agg, result)
+
+    def test_arg_columns_must_be_one_side(self):
+        join = Join(emp_scan(), dept_scan())
+        from repro.algebra.scalar import Arith
+
+        agg = GroupAggregate(
+            join,
+            ("DName", "Budget"),
+            (AggSpec("sum", Arith("+", col("Salary"), col("Budget")), "S"),),
+        )
+        # Salary+Budget spans both sides relative to Emp; pushing into Dept
+        # fails the key test (DName is not a key of Emp). No rewrite.
+        assert list(PushAggregateBelowJoin().apply(agg)) == []
+
+
+class TestDefaultRules:
+    def test_contains_core_rules(self):
+        names = {r.name for r in default_rules()}
+        assert "push-aggregate-below-join" in names
+        assert "join-associate" in names
+        assert "pull-select-above-join" not in names
+
+    def test_pull_opt_in(self):
+        names = {r.name for r in default_rules(enable_pull=True)}
+        assert "pull-select-above-join" in names
+
+
+class TestPullAggregateAboveJoin:
+    from repro.algebra.rules import PullAggregateAboveJoin
+
+    def _eager_form(self):
+        """SumOfSals ⋈ Dept — the pre-aggregated (eager) shape."""
+        pre = GroupAggregate(
+            emp_scan(), ("DName",), (AggSpec("sum", col("Salary"), "SalSum"),)
+        )
+        return Join(pre, dept_scan())
+
+    def test_recovers_lazy_form(self):
+        from repro.algebra.rules import PullAggregateAboveJoin
+
+        (result,) = PullAggregateAboveJoin().apply(self._eager_form())
+        assert isinstance(result, GroupAggregate)
+        assert isinstance(result.input, Join)
+        assert set(result.group_by) >= {"DName", "Budget", "MName"}
+        assert_equivalent(self._eager_form(), result)
+
+    def test_requires_key_on_other_side(self):
+        from repro.algebra.rules import PullAggregateAboveJoin
+        from repro.algebra.operators import Scan
+        from repro.algebra.schema import Schema
+        from repro.algebra.types import DataType
+
+        keyless = Scan(
+            "X", Schema.of(("DName", DataType.STRING), ("W", DataType.INT))
+        )
+        pre = GroupAggregate(
+            emp_scan(), ("DName",), (AggSpec("sum", col("Salary"), "SalSum"),)
+        )
+        assert list(PullAggregateAboveJoin().apply(Join(pre, keyless))) == []
+
+    def test_extra_shared_columns_block(self):
+        """If the aggregate's input shares more columns with R than the
+        aggregate output does, pulling up would change the join."""
+        from repro.algebra.rules import PullAggregateAboveJoin
+        from repro.algebra.operators import Scan
+        from repro.algebra.schema import Schema
+        from repro.algebra.types import DataType
+
+        # R shares DName AND Salary with Emp.
+        r = Scan(
+            "R",
+            Schema.of(
+                ("DName", DataType.STRING),
+                ("Salary", DataType.INT),
+                keys=[["DName"]],
+            ),
+        )
+        pre = GroupAggregate(
+            emp_scan(), ("DName",), (AggSpec("count", None, "N"),)
+        )
+        assert list(PullAggregateAboveJoin().apply(Join(pre, r))) == []
+
+    def test_dag_reaches_lazy_alternative(self):
+        """With the rule enabled, a view written in the eager form gains
+        the aggregate-over-join alternative in its DAG."""
+        from repro.algebra.operators import GroupAggregate as GA
+        from repro.algebra.rules import default_rules
+        from repro.dag.builder import build_dag
+
+        dag = build_dag(
+            self._eager_form(), rules=default_rules(enable_lazy_aggregation=True)
+        )
+        root_ops = dag.memo.group(dag.root).ops
+        kinds = {type(op.template).__name__ for op in root_ops}
+        assert kinds == {"Join", "GroupAggregate"}

@@ -1,0 +1,85 @@
+"""Unit tests for scalar expressions."""
+
+import pytest
+
+from repro.algebra.scalar import Arith, Col, Const, col, lit
+from repro.algebra.schema import Schema
+from repro.algebra.types import DataType, TypeError_
+
+SCHEMA = Schema.of(("a", DataType.INT), ("b", DataType.FLOAT), ("s", DataType.STRING))
+
+
+class TestCol:
+    def test_eval(self):
+        assert Col("a").eval({"a": 7}) == 7
+
+    def test_eval_qualified_against_bare(self):
+        assert Col("T.a").eval({"a": 7}) == 7
+
+    def test_eval_missing(self):
+        with pytest.raises(KeyError):
+            Col("z").eval({"a": 1})
+
+    def test_columns(self):
+        assert Col("a").columns() == {"a"}
+
+    def test_output_type(self):
+        assert Col("a").output_type(SCHEMA) is DataType.INT
+
+    def test_rename(self):
+        assert Col("a").rename({"a": "x"}) == Col("x")
+
+    def test_hashable_equality(self):
+        assert col("a") == Col("a")
+        assert hash(col("a")) == hash(Col("a"))
+
+
+class TestConst:
+    def test_eval(self):
+        assert Const(3).eval({}) == 3
+
+    def test_no_columns(self):
+        assert lit("x").columns() == frozenset()
+
+    def test_output_type(self):
+        assert Const(2.5).output_type(SCHEMA) is DataType.FLOAT
+
+    def test_rename_identity(self):
+        c = Const(1)
+        assert c.rename({"a": "b"}) is c
+
+    def test_str_quotes_strings(self):
+        assert str(Const("hi")) == "'hi'"
+        assert str(Const(3)) == "3"
+
+
+class TestArith:
+    def test_eval_all_ops(self):
+        row = {"a": 6, "b": 3.0}
+        assert Arith("+", col("a"), col("b")).eval(row) == 9.0
+        assert Arith("-", col("a"), col("b")).eval(row) == 3.0
+        assert Arith("*", col("a"), col("b")).eval(row) == 18.0
+        assert Arith("/", col("a"), col("b")).eval(row) == 2.0
+
+    def test_unknown_op(self):
+        with pytest.raises(TypeError_):
+            Arith("%", col("a"), col("b"))
+
+    def test_columns_union(self):
+        expr = Arith("*", col("a"), Arith("+", col("b"), lit(1)))
+        assert expr.columns() == {"a", "b"}
+
+    def test_output_type_promotion(self):
+        assert Arith("+", col("a"), col("a")).output_type(SCHEMA) is DataType.INT
+        assert Arith("+", col("a"), col("b")).output_type(SCHEMA) is DataType.FLOAT
+
+    def test_division_is_float(self):
+        assert Arith("/", col("a"), col("a")).output_type(SCHEMA) is DataType.FLOAT
+
+    def test_string_arith_rejected(self):
+        with pytest.raises(TypeError_):
+            Arith("+", col("s"), col("a")).output_type(SCHEMA)
+
+    def test_rename_recurses(self):
+        expr = Arith("+", col("a"), col("b")).rename({"a": "x"})
+        assert expr == Arith("+", col("x"), col("b"))

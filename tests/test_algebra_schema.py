@@ -1,0 +1,113 @@
+"""Unit tests for schemas, column resolution, and key reasoning."""
+
+import pytest
+
+from repro.algebra.schema import Column, Schema, SchemaError
+from repro.algebra.types import DataType, TypeError_
+
+
+@pytest.fixture
+def emp():
+    return Schema.of(
+        ("EName", DataType.STRING),
+        ("DName", DataType.STRING),
+        ("Salary", DataType.INT),
+        keys=[["EName"]],
+    )
+
+
+class TestConstruction:
+    def test_of_builds_columns(self, emp):
+        assert emp.names == ("EName", "DName", "Salary")
+        assert emp.dtype_of("Salary") is DataType.INT
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("a", DataType.INT), ("a", DataType.INT))
+
+    def test_key_over_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("a", DataType.INT), keys=[["b"]])
+
+    def test_empty_column_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", DataType.INT)
+
+    def test_len_and_iter(self, emp):
+        assert len(emp) == 3
+        assert [c.name for c in emp] == ["EName", "DName", "Salary"]
+
+
+class TestResolution:
+    def test_exact(self, emp):
+        assert emp.resolve("DName") == "DName"
+
+    def test_qualified_suffix(self, emp):
+        assert emp.resolve("Emp.DName") == "DName"
+
+    def test_unknown(self, emp):
+        with pytest.raises(SchemaError):
+            emp.resolve("Budget")
+
+    def test_contains(self, emp):
+        assert "Salary" in emp
+        assert "Budget" not in emp
+
+    def test_index_of(self, emp):
+        assert emp.index_of("Salary") == 2
+
+    def test_ambiguous_suffix(self):
+        schema = Schema.of(("a.x", DataType.INT), ("b.x", DataType.INT))
+        with pytest.raises(SchemaError):
+            schema.resolve("x")
+
+
+class TestKeys:
+    def test_has_key_subset(self, emp):
+        assert emp.has_key(["EName"])
+        assert emp.has_key(["EName", "DName"])  # superset of a key
+
+    def test_has_key_negative(self, emp):
+        assert not emp.has_key(["DName"])
+
+
+class TestDerivation:
+    def test_project_keeps_intact_keys(self, emp):
+        projected = emp.project(["EName", "Salary"])
+        assert projected.names == ("EName", "Salary")
+        assert projected.has_key(["EName"])
+
+    def test_project_drops_broken_keys(self, emp):
+        projected = emp.project(["DName", "Salary"])
+        assert not projected.keys
+
+    def test_rename(self, emp):
+        renamed = emp.rename({"EName": "Name"})
+        assert renamed.names == ("Name", "DName", "Salary")
+        assert renamed.has_key(["Name"])
+
+    def test_concat(self, emp):
+        other = Schema.of(("Budget", DataType.INT))
+        merged = emp.concat(other, extra_keys=[["EName"]])
+        assert merged.names == ("EName", "DName", "Salary", "Budget")
+        assert merged.has_key(["EName"])
+
+
+class TestTuples:
+    def test_validate_ok(self, emp):
+        assert emp.validate_tuple(("a", "d", 5)) == ("a", "d", 5)
+
+    def test_validate_widens(self):
+        schema = Schema.of(("x", DataType.FLOAT))
+        assert schema.validate_tuple((3,)) == (3.0,)
+
+    def test_validate_arity(self, emp):
+        with pytest.raises(TypeError_):
+            emp.validate_tuple(("a", "d"))
+
+    def test_validate_type(self, emp):
+        with pytest.raises(TypeError_):
+            emp.validate_tuple(("a", "d", "not-an-int"))
+
+    def test_as_dict(self, emp):
+        assert emp.as_dict(("a", "d", 5)) == {"EName": "a", "DName": "d", "Salary": 5}

@@ -1,0 +1,66 @@
+"""Unit tests for expression-tree utilities."""
+
+from repro.algebra.operators import Join, Select
+from repro.algebra.predicates import Compare
+from repro.algebra.scalar import col, lit
+from repro.algebra.tree import (
+    depends_on,
+    render_tree,
+    rewrite_bottom_up,
+    scan_nodes,
+    subexpressions,
+)
+from repro.workload.paperdb import dept_scan, emp_scan, problem_dept_tree
+
+
+class TestRenderTree:
+    def test_structure(self):
+        text = render_tree(problem_dept_tree())
+        lines = text.splitlines()
+        assert lines[0].startswith("Project")
+        assert lines[1].strip().startswith("Select")
+        assert "Join(DName)" in text
+        assert text.count("  ") > 0  # indentation present
+
+    def test_leaf_rendering(self):
+        assert render_tree(emp_scan()) == "Emp"
+
+
+class TestRewrite:
+    def test_identity(self):
+        tree = problem_dept_tree()
+        assert rewrite_bottom_up(tree, lambda n: n) == tree
+
+    def test_replaces_node(self):
+        tree = Join(emp_scan(), dept_scan())
+
+        def widen(node):
+            if isinstance(node, Select):
+                return node.input
+            return node
+
+        filtered = Select(tree, Compare(">", col("Salary"), lit(0)))
+        assert rewrite_bottom_up(filtered, widen) == tree
+
+
+class TestInspection:
+    def test_subexpressions_children_first(self):
+        tree = problem_dept_tree()
+        subs = subexpressions(tree)
+        assert subs[-1] == tree
+        assert emp_scan() in subs
+
+    def test_subexpressions_dedup(self):
+        j = Join(emp_scan(), dept_scan())
+        subs = subexpressions(j)
+        assert len(subs) == 3
+
+    def test_depends_on(self):
+        tree = problem_dept_tree()
+        assert depends_on(tree, "Emp")
+        assert depends_on(tree, "Dept")
+        assert not depends_on(tree, "ADepts")
+
+    def test_scan_nodes(self):
+        tree = problem_dept_tree()
+        assert sorted(s.name for s in scan_nodes(tree)) == ["Dept", "Emp"]

@@ -1,0 +1,89 @@
+"""Unit tests for the scalar type system."""
+
+import pytest
+
+from repro.algebra.types import (
+    DataType,
+    TypeError_,
+    check_value,
+    comparable,
+    infer_type,
+    unify_numeric,
+)
+
+
+class TestInferType:
+    def test_int(self):
+        assert infer_type(3) is DataType.INT
+
+    def test_float(self):
+        assert infer_type(3.5) is DataType.FLOAT
+
+    def test_string(self):
+        assert infer_type("x") is DataType.STRING
+
+    def test_bool_before_int(self):
+        # bool is a subclass of int in Python; it must not classify as INT.
+        assert infer_type(True) is DataType.BOOL
+
+    def test_unsupported(self):
+        with pytest.raises(TypeError_):
+            infer_type([1, 2])
+
+    def test_none_rejected(self):
+        with pytest.raises(TypeError_):
+            infer_type(None)
+
+
+class TestCheckValue:
+    def test_exact_match(self):
+        assert check_value(5, DataType.INT) == 5
+
+    def test_int_widens_to_float(self):
+        widened = check_value(5, DataType.FLOAT)
+        assert widened == 5.0
+        assert isinstance(widened, float)
+
+    def test_float_does_not_narrow(self):
+        with pytest.raises(TypeError_):
+            check_value(5.5, DataType.INT)
+
+    def test_string_mismatch(self):
+        with pytest.raises(TypeError_):
+            check_value("x", DataType.INT)
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(TypeError_):
+            check_value(True, DataType.INT)
+
+
+class TestUnifyNumeric:
+    def test_int_int(self):
+        assert unify_numeric(DataType.INT, DataType.INT) is DataType.INT
+
+    def test_int_float(self):
+        assert unify_numeric(DataType.INT, DataType.FLOAT) is DataType.FLOAT
+
+    def test_float_float(self):
+        assert unify_numeric(DataType.FLOAT, DataType.FLOAT) is DataType.FLOAT
+
+    def test_string_rejected(self):
+        with pytest.raises(TypeError_):
+            unify_numeric(DataType.STRING, DataType.INT)
+
+
+class TestComparable:
+    def test_same_type(self):
+        assert comparable(DataType.STRING, DataType.STRING)
+
+    def test_numeric_cross(self):
+        assert comparable(DataType.INT, DataType.FLOAT)
+
+    def test_string_int_not_comparable(self):
+        assert not comparable(DataType.STRING, DataType.INT)
+
+    def test_is_numeric(self):
+        assert DataType.INT.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert not DataType.STRING.is_numeric
+        assert not DataType.BOOL.is_numeric

@@ -1,0 +1,118 @@
+"""Tests for adaptive re-optimization under workload drift."""
+
+import random
+
+import pytest
+
+from repro.core.adaptive import AdaptiveMaintainer
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import build_dag
+from repro.ivm.delta import Delta
+from repro.storage.statistics import Catalog
+from repro.workload.generators import chain_view, load_chain_database
+from repro.workload.transactions import Transaction, modify_txn
+
+TXNS = (
+    modify_txn(">R1", "R1", {"V1"}),
+    modify_txn(">R3", "R3", {"V3"}),
+)
+
+
+def make_adaptive(window=20, seed=1, horizon=1500):
+    db = load_chain_database(3, 200, seed=seed)
+    dag = build_dag(chain_view(3, aggregate=True))
+    estimator = DagEstimator(dag.memo, Catalog.from_database(db))
+    cost_model = PageIOCostModel(dag.memo, estimator, CostConfig(root_group=dag.root))
+    adaptive = AdaptiveMaintainer(
+        db, dag, TXNS, estimator, cost_model, window=window,
+        amortization_horizon=horizon,
+    )
+    return db, adaptive
+
+
+def make_txn(db, rng, relation):
+    rows = sorted(db.relation(relation).contents().rows())
+    old = rng.choice(rows)
+    new = (old[0], old[1], old[2] + rng.randint(1, 5))
+    return Transaction(f">{relation}", {relation: Delta.modification([(old, new)])})
+
+
+class TestAdaptation:
+    def test_initial_plan_built(self):
+        db, adaptive = make_adaptive()
+        assert adaptive.marking
+        adaptive.verify()
+
+    def test_reoptimizes_on_window(self):
+        db, adaptive = make_adaptive(window=10)
+        rng = random.Random(2)
+        for _ in range(10):
+            adaptive.apply(make_txn(db, rng, "R1"))
+        assert len(adaptive.history) == 1
+
+    def test_drift_switches_marking(self):
+        """A one-sided stream must eventually pick the matching auxiliary
+        view; when the stream flips, the marking must flip too."""
+        db, adaptive = make_adaptive(window=15)
+        rng = random.Random(3)
+        for _ in range(30):
+            adaptive.apply(make_txn(db, rng, "R1"))
+        adaptive.verify()
+        marking_r1 = adaptive.marking
+        for _ in range(90):
+            adaptive.apply(make_txn(db, rng, "R3"))
+        adaptive.verify()
+        marking_r3 = adaptive.marking
+        assert marking_r1 != marking_r3
+        switches = [h for h in adaptive.history if h.switched]
+        assert switches
+
+    def test_stable_workload_no_thrash(self):
+        db, adaptive = make_adaptive(window=10)
+        rng = random.Random(4)
+        for _ in range(50):
+            adaptive.apply(make_txn(db, rng, "R1"))
+        markings = {h.new_marking for h in adaptive.history[1:]}
+        assert len(markings) <= 1  # settled, no flip-flopping
+
+    def test_history_records_costs(self):
+        db, adaptive = make_adaptive(window=10)
+        rng = random.Random(5)
+        for _ in range(10):
+            adaptive.apply(make_txn(db, rng, "R3"))
+        record = adaptive.history[0]
+        assert record.projected_new_cost <= record.projected_old_cost + 1e-9
+        assert record.migration_cost >= 0
+        assert record.weights[">R3"] > record.weights[">R1"]
+
+    def test_views_stay_correct_across_migrations(self):
+        db, adaptive = make_adaptive(window=12)
+        rng = random.Random(6)
+        phases = [">R1"] * 24 + [">R3"] * 36 + [">R1"] * 24
+        for name in phases:
+            adaptive.apply(make_txn(db, rng, name[1:]))
+            if rng.random() < 0.2:
+                adaptive.verify()
+        adaptive.verify()
+
+    def test_short_horizon_prevents_thrash(self):
+        """With a tiny amortization horizon, migrations never pay off and
+        the plan stays put even under drift."""
+        db, adaptive = make_adaptive(window=10, horizon=1)
+        rng = random.Random(8)
+        initial = adaptive.marking
+        for _ in range(40):
+            adaptive.apply(make_txn(db, rng, "R3"))
+        assert adaptive.marking == initial
+        assert not any(h.switched for h in adaptive.history)
+
+    def test_migration_charged(self):
+        db, adaptive = make_adaptive(window=15)
+        rng = random.Random(7)
+        for _ in range(15):
+            adaptive.apply(make_txn(db, rng, "R1"))
+        if any(h.switched for h in adaptive.history):
+            # Builds show up in the I/O counter (scan of the sources).
+            assert db.counter.total > 15 * 10

@@ -1,0 +1,150 @@
+"""Tests for articulation nodes and the Shielding Principle (Section 4)."""
+
+import pytest
+
+from repro.algebra.operators import AggSpec, GroupAggregate, Join, Scan
+from repro.algebra.scalar import Arith, col
+from repro.algebra.schema import Schema
+from repro.algebra.types import DataType
+from repro.core.articulation import articulation_groups, local_optimum
+from repro.core.optimizer import optimal_view_set
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import build_dag
+from repro.storage.statistics import Catalog, TableStats
+from repro.workload.transactions import modify_txn
+
+
+def figure5_view():
+    """Paper Figure 5: R ⋈ γ_{Item; SUM(Quantity·Price)}(S ⋈ T).
+
+    The aggregation can be pushed neither down (needs S.Quantity and
+    T.Price) nor up (Item is not a key of R), so its parent equivalence
+    node is a natural articulation node.
+    """
+    r = Scan("R", Schema.of(("Item", DataType.STRING), ("Region", DataType.STRING)))
+    s = Scan(
+        "S",
+        Schema.of(
+            ("SID", DataType.INT),
+            ("Item", DataType.STRING),
+            ("Quantity", DataType.INT),
+            keys=[["SID"]],
+        ),
+    )
+    t = Scan(
+        "T",
+        Schema.of(("Item", DataType.STRING), ("Price", DataType.INT), keys=[["Item"]]),
+    )
+    inner = Join(s, t)
+    agg = GroupAggregate(
+        inner,
+        ("Item",),
+        (AggSpec("sum", Arith("*", col("Quantity"), col("Price")), "Revenue"),),
+    )
+    return Join(r, agg)
+
+
+def figure5_catalog():
+    return Catalog(
+        {
+            "R": TableStats(5000, {"Item": 100, "Region": 10}),
+            "S": TableStats(10000, {"SID": 10000, "Item": 100, "Quantity": 50}),
+            "T": TableStats(100, {"Item": 100, "Price": 40}),
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    dag = build_dag(figure5_view())
+    estimator = DagEstimator(dag.memo, figure5_catalog())
+    cost_model = PageIOCostModel(
+        dag.memo, estimator, CostConfig(charge_root_update=False, root_group=dag.root)
+    )
+    txns = (
+        modify_txn(">S", "S", {"Quantity"}, weight=1.0),
+        modify_txn(">R", "R", {"Region"}, weight=1.0),
+    )
+    return dag, estimator, cost_model, txns
+
+
+class TestArticulationDetection:
+    def test_aggregate_group_is_articulation(self, fig5):
+        dag, *_ = fig5
+        points = articulation_groups(dag.memo, dag.root)
+        agg_groups = [
+            g.id
+            for g in dag.memo.groups()
+            if any(isinstance(op.template, GroupAggregate) for op in g.ops)
+        ]
+        assert any(g in points for g in agg_groups)
+
+    def test_root_and_leaves_excluded(self, fig5):
+        dag, *_ = fig5
+        points = articulation_groups(dag.memo, dag.root)
+        assert dag.root not in points
+        for group in dag.memo.groups():
+            if group.is_leaf:
+                assert group.id not in points
+
+    def test_paper_dag_articulation(self, paper_dag, paper_groups):
+        """In the ProblemDept DAG, the agg/select chain above the common
+        subexpressions is articulated; the join node (reachable two ways)
+        is not."""
+        points = articulation_groups(paper_dag.memo, paper_dag.root)
+        assert paper_groups["agg"] in points
+        assert paper_groups["join"] not in points
+        assert paper_groups["SumOfSals"] not in points
+
+
+class TestShieldedOptimization:
+    def test_same_answer_as_exhaustive(self, fig5):
+        dag, estimator, cost_model, txns = fig5
+        exhaustive = optimal_view_set(dag, txns, cost_model, estimator)
+        shielded = optimal_view_set(
+            dag, txns, cost_model, estimator, shielding=True
+        )
+        assert shielded.best_marking == exhaustive.best_marking
+        assert shielded.best.weighted_cost == exhaustive.best.weighted_cost
+
+    def test_prunes_view_sets(self, fig5):
+        dag, estimator, cost_model, txns = fig5
+        shielded = optimal_view_set(dag, txns, cost_model, estimator, shielding=True)
+        assert shielded.view_sets_pruned > 0
+        assert len(shielded.evaluated) < shielded.view_sets_considered
+
+    def test_paper_dag_shielded_matches(
+        self, paper_dag, paper_txns, paper_cost_model, paper_estimator
+    ):
+        exhaustive = optimal_view_set(
+            paper_dag, paper_txns, paper_cost_model, paper_estimator
+        )
+        shielded = optimal_view_set(
+            paper_dag, paper_txns, paper_cost_model, paper_estimator, shielding=True
+        )
+        assert shielded.best_marking == exhaustive.best_marking
+        assert shielded.best.weighted_cost == exhaustive.best.weighted_cost
+
+
+class TestLocalOptimum:
+    def test_local_optimum_contains_node(self, fig5):
+        dag, estimator, cost_model, txns = fig5
+        points = articulation_groups(dag.memo, dag.root)
+        for node in points:
+            opt = local_optimum(dag, node, txns, cost_model, estimator)
+            assert node in opt
+
+    def test_unaffected_node_trivial(
+        self, paper_dag, paper_groups, paper_cost_model, paper_estimator
+    ):
+        dept_only = (modify_txn(">Dept", "Dept", {"Budget"}),)
+        opt = local_optimum(
+            paper_dag,
+            paper_groups["SumOfSals"],
+            dept_only,
+            paper_cost_model,
+            paper_estimator,
+        )
+        assert opt == frozenset({paper_groups["SumOfSals"]})

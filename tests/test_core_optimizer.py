@@ -1,0 +1,163 @@
+"""Tests for Algorithm OptimalViewSet — including the full Section 3.6
+reproduction at the unit level (the integration test re-checks end to end).
+"""
+
+import pytest
+
+from repro.core.optimizer import (
+    SearchSpaceError,
+    evaluate_view_set,
+    optimal_view_set,
+)
+
+
+@pytest.fixture(scope="module")
+def result(paper_dag, paper_txns, paper_cost_model, paper_estimator):
+    return optimal_view_set(
+        paper_dag, paper_txns, paper_cost_model, paper_estimator
+    )
+
+
+class TestPaperNumbers:
+    def test_empty_set_costs(
+        self, paper_dag, paper_txns, paper_cost_model, paper_estimator
+    ):
+        ev = evaluate_view_set(
+            paper_dag.memo,
+            frozenset({paper_dag.root}),
+            paper_txns,
+            paper_cost_model,
+            paper_estimator,
+        )
+        assert ev.per_txn[">Emp"].total == 13.0
+        assert ev.per_txn[">Dept"].total == 11.0
+        assert ev.weighted_cost == 12.0
+
+    def test_sumofsals_costs(
+        self, paper_dag, paper_groups, paper_txns, paper_cost_model, paper_estimator
+    ):
+        ev = evaluate_view_set(
+            paper_dag.memo,
+            frozenset({paper_dag.root, paper_groups["SumOfSals"]}),
+            paper_txns,
+            paper_cost_model,
+            paper_estimator,
+        )
+        assert ev.per_txn[">Emp"].query_cost == 2.0
+        assert ev.per_txn[">Emp"].update_cost == 3.0
+        assert ev.per_txn[">Dept"].total == 2.0
+        assert ev.weighted_cost == 3.5
+
+    def test_join_view_costs(
+        self, paper_dag, paper_groups, paper_txns, paper_cost_model, paper_estimator
+    ):
+        ev = evaluate_view_set(
+            paper_dag.memo,
+            frozenset({paper_dag.root, paper_groups["join"]}),
+            paper_txns,
+            paper_cost_model,
+            paper_estimator,
+        )
+        assert ev.per_txn[">Emp"].total == 16.0
+        assert ev.per_txn[">Dept"].total == 32.0
+        assert ev.weighted_cost == 24.0
+
+    def test_optimum_is_sumofsals(self, result, paper_dag, paper_groups):
+        assert result.best_marking == frozenset(
+            {paper_dag.root, paper_groups["SumOfSals"]}
+        )
+        assert result.best.weighted_cost == 3.5
+
+    def test_reduction_factor(self, result, paper_dag, paper_txns, paper_cost_model, paper_estimator):
+        """The paper's headline: ~30% of the no-extra-views cost."""
+        nothing = evaluate_view_set(
+            paper_dag.memo,
+            frozenset({paper_dag.root}),
+            paper_txns,
+            paper_cost_model,
+            paper_estimator,
+        )
+        ratio = result.best.weighted_cost / nothing.weighted_cost
+        assert ratio == pytest.approx(3.5 / 12.0)
+
+    def test_bad_choice_worse_than_nothing(self, result, paper_dag, paper_groups):
+        """Materializing {N4} loses to materializing nothing, for every
+        weighting (the paper's strategy (c) lesson)."""
+        join_ev = result.evaluation_for(
+            frozenset({paper_dag.root, paper_groups["join"]})
+        )
+        nothing = result.evaluation_for(frozenset({paper_dag.root}))
+        for txn in (">Emp", ">Dept"):
+            assert join_ev.per_txn[txn].total > nothing.per_txn[txn].total
+
+
+class TestSearchMechanics:
+    def test_all_subsets_considered(self, result, paper_dag):
+        optional = len(result.candidates) - 1  # root is required
+        assert result.view_sets_considered == 2**optional
+        assert len(result.evaluated) == 2**optional
+
+    def test_root_always_marked(self, result, paper_dag):
+        for ev in result.evaluated:
+            assert paper_dag.root in ev.marking
+
+    def test_best_is_minimum(self, result):
+        assert result.best.weighted_cost == min(
+            ev.weighted_cost for ev in result.evaluated
+        )
+
+    def test_chosen_tracks_recorded(self, result):
+        plan = result.best.per_txn[">Emp"]
+        assert plan.track  # nonempty: deltas flow to the root
+
+    def test_search_space_guard(
+        self, paper_dag, paper_txns, paper_cost_model, paper_estimator
+    ):
+        with pytest.raises(SearchSpaceError):
+            optimal_view_set(
+                paper_dag,
+                paper_txns,
+                paper_cost_model,
+                paper_estimator,
+                max_candidates=1,
+            )
+
+    def test_candidate_restriction(
+        self, paper_dag, paper_groups, paper_txns, paper_cost_model, paper_estimator
+    ):
+        restricted = optimal_view_set(
+            paper_dag,
+            paper_txns,
+            paper_cost_model,
+            paper_estimator,
+            candidates=[paper_dag.root, paper_groups["join"]],
+        )
+        assert restricted.view_sets_considered == 2
+        # Without SumOfSals available, materializing nothing extra wins.
+        assert restricted.best_marking == frozenset({paper_dag.root})
+
+    def test_weights_respected(
+        self, paper_dag, paper_groups, paper_cost_model, paper_estimator
+    ):
+        from repro.workload.transactions import modify_txn
+
+        heavy_emp = (
+            modify_txn(">Emp", "Emp", {"Salary"}, weight=9.0),
+            modify_txn(">Dept", "Dept", {"Budget"}, weight=1.0),
+        )
+        ev = evaluate_view_set(
+            paper_dag.memo,
+            frozenset({paper_dag.root, paper_groups["SumOfSals"]}),
+            heavy_emp,
+            paper_cost_model,
+            paper_estimator,
+        )
+        assert ev.weighted_cost == pytest.approx((9 * 5 + 1 * 2) / 10)
+
+    def test_describe(self, result, paper_dag):
+        text = result.best.describe(paper_dag.memo, root=paper_dag.root)
+        assert "weighted 3.50" in text
+
+    def test_evaluation_for_missing_raises(self, result):
+        with pytest.raises(KeyError):
+            result.evaluation_for(frozenset({123456}))

@@ -1,0 +1,61 @@
+"""Unit tests for the plan/result datatypes."""
+
+import pytest
+
+from repro.core.plan import OptimizationResult, TxnPlan, ViewSetEvaluation
+
+
+class TestTxnPlan:
+    def test_total(self):
+        plan = TxnPlan(">Emp", query_cost=2.0, update_cost=3.0, track={})
+        assert plan.total == 5.0
+
+    def test_zero_costs(self):
+        assert TxnPlan("t", 0.0, 0.0, {}).total == 0.0
+
+
+class TestViewSetEvaluation:
+    def test_describe_empty_extra(self, paper_dag):
+        ev = ViewSetEvaluation(frozenset({paper_dag.root}), weighted_cost=12.0)
+        text = ev.describe(paper_dag.memo, root=paper_dag.root)
+        assert text.startswith("{∅}")
+        assert "12.00" in text
+
+    def test_describe_without_root_filter(self, paper_dag):
+        ev = ViewSetEvaluation(frozenset({paper_dag.root}), weighted_cost=1.0)
+        text = ev.describe(paper_dag.memo)
+        assert f"N{paper_dag.root}" in text
+
+
+class TestOptimizationResult:
+    def _result(self, paper_dag, paper_groups):
+        best = ViewSetEvaluation(
+            frozenset({paper_dag.root, paper_groups["SumOfSals"]}),
+            weighted_cost=3.5,
+        )
+        other = ViewSetEvaluation(frozenset({paper_dag.root}), weighted_cost=12.0)
+        return OptimizationResult(
+            best=best,
+            evaluated=[best, other],
+            root=paper_dag.root,
+            candidates=(paper_dag.root, paper_groups["SumOfSals"]),
+            view_sets_considered=2,
+        )
+
+    def test_additional_views(self, paper_dag, paper_groups):
+        result = self._result(paper_dag, paper_groups)
+        assert result.additional_views() == frozenset({paper_groups["SumOfSals"]})
+
+    def test_best_marking(self, paper_dag, paper_groups):
+        result = self._result(paper_dag, paper_groups)
+        assert paper_dag.root in result.best_marking
+
+    def test_evaluation_for(self, paper_dag, paper_groups):
+        result = self._result(paper_dag, paper_groups)
+        found = result.evaluation_for(frozenset({paper_dag.root}))
+        assert found.weighted_cost == 12.0
+
+    def test_evaluation_for_missing(self, paper_dag, paper_groups):
+        result = self._result(paper_dag, paper_groups)
+        with pytest.raises(KeyError):
+            result.evaluation_for(frozenset({999}))

@@ -1,0 +1,133 @@
+"""Tests for plan persistence (save/load against a rebuilt DAG)."""
+
+import json
+
+import pytest
+
+from repro.core.optimizer import optimal_view_set
+from repro.core.serialize import (
+    PlanFormatError,
+    dag_fingerprint,
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
+)
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import build_dag
+from repro.storage.statistics import Catalog
+from repro.workload.paperdb import problem_dept_tree, sum_of_sals_tree
+from repro.workload.transactions import paper_transactions
+
+
+@pytest.fixture(scope="module")
+def plan_setup():
+    dag = build_dag(problem_dept_tree())
+    estimator = DagEstimator(dag.memo, Catalog.paper_catalog())
+    cost_model = PageIOCostModel(
+        dag.memo, estimator, CostConfig(root_group=dag.root)
+    )
+    txns = paper_transactions()
+    result = optimal_view_set(dag, txns, cost_model, estimator)
+    return dag, result
+
+
+class TestFingerprint:
+    def test_deterministic_across_builds(self, plan_setup):
+        dag, _ = plan_setup
+        rebuilt = build_dag(problem_dept_tree())
+        assert dag_fingerprint(dag) == dag_fingerprint(rebuilt)
+
+    def test_different_views_differ(self, plan_setup):
+        dag, _ = plan_setup
+        other = build_dag(sum_of_sals_tree())
+        assert dag_fingerprint(dag) != dag_fingerprint(other)
+
+
+class TestRoundtrip:
+    def test_save_load(self, plan_setup, tmp_path):
+        dag, result = plan_setup
+        path = tmp_path / "plan.json"
+        save_plan(dag, result, path)
+        rebuilt = build_dag(problem_dept_tree())
+        loaded = load_plan(rebuilt, path)
+        assert loaded.marking == result.best_marking
+        assert loaded.weighted_cost == result.best.weighted_cost
+        for name, plan in result.best.per_txn.items():
+            got = loaded.per_txn[name]
+            assert got.query_cost == plan.query_cost
+            assert got.update_cost == plan.update_cost
+            assert {g: op.id for g, op in got.track.items()} == {
+                g: op.id for g, op in plan.track.items()
+            }
+
+    def test_loaded_plan_drives_maintainer(self, plan_setup, tmp_path, small_paper_db):
+        import random
+
+        from repro.ivm.delta import Delta
+        from repro.ivm.maintainer import ViewMaintainer
+        from repro.workload.transactions import Transaction
+
+        dag, result = plan_setup
+        path = tmp_path / "plan.json"
+        save_plan(dag, result, path)
+
+        rebuilt = build_dag(problem_dept_tree())
+        loaded = load_plan(rebuilt, path)
+        estimator = DagEstimator(rebuilt.memo, Catalog.from_database(small_paper_db))
+        cost_model = PageIOCostModel(
+            rebuilt.memo, estimator, CostConfig(root_group=rebuilt.root)
+        )
+        maintainer = ViewMaintainer(
+            small_paper_db,
+            rebuilt,
+            loaded.marking,
+            paper_transactions(),
+            {name: plan.track for name, plan in loaded.per_txn.items()},
+            estimator,
+            cost_model,
+        )
+        maintainer.materialize()
+        rng = random.Random(2)
+        old = rng.choice(sorted(small_paper_db.relation("Emp").contents().rows()))
+        new = (old[0], old[1], old[2] + 3)
+        maintainer.apply(
+            Transaction(">Emp", {"Emp": Delta.modification([(old, new)])})
+        )
+        maintainer.verify()
+
+
+class TestValidation:
+    def test_fingerprint_mismatch_rejected(self, plan_setup, tmp_path):
+        dag, result = plan_setup
+        path = tmp_path / "plan.json"
+        save_plan(dag, result, path)
+        other = build_dag(sum_of_sals_tree())
+        with pytest.raises(PlanFormatError):
+            load_plan(other, path)
+
+    def test_version_mismatch_rejected(self, plan_setup):
+        dag, result = plan_setup
+        payload = plan_to_dict(dag, result.best)
+        payload["version"] = 999
+        with pytest.raises(PlanFormatError):
+            plan_from_dict(dag, payload)
+
+    def test_unknown_op_rejected(self, plan_setup):
+        dag, result = plan_setup
+        payload = plan_to_dict(dag, result.best)
+        for entry in payload["per_txn"].values():
+            for gid in entry["track"]:
+                entry["track"][gid] = 10_000
+        with pytest.raises(PlanFormatError):
+            plan_from_dict(dag, payload)
+
+    def test_json_is_plain(self, plan_setup, tmp_path):
+        dag, result = plan_setup
+        path = tmp_path / "plan.json"
+        save_plan(dag, result, path)
+        payload = json.loads(path.read_text())
+        assert payload["marking"] == sorted(result.best_marking)
+        assert payload["weighted_cost"] == 3.5

@@ -1,0 +1,126 @@
+"""Tests for update-track enumeration (Definitions 3.2/3.3)."""
+
+import pytest
+
+from repro.algebra.operators import GroupAggregate, Join
+from repro.core.tracks import (
+    affected_ops,
+    describe_track,
+    enumerate_tracks,
+    track_ops,
+)
+
+
+class TestAffectedOps:
+    def test_leaf_has_none(self, paper_dag, paper_groups, paper_estimator, paper_txns):
+        t_emp, _ = paper_txns
+        assert affected_ops(paper_dag.memo, paper_groups["Emp"], t_emp, paper_estimator) == []
+
+    def test_agg_group_both_ops_for_emp(
+        self, paper_dag, paper_groups, paper_estimator, paper_txns
+    ):
+        """Both E2 (join with SumOfSals) and E3 (aggregate) receive >Emp."""
+        t_emp, _ = paper_txns
+        ops = affected_ops(paper_dag.memo, paper_groups["agg"], t_emp, paper_estimator)
+        assert len(ops) == 2
+
+    def test_sumofsals_unaffected_by_dept(
+        self, paper_dag, paper_groups, paper_estimator, paper_txns
+    ):
+        _, t_dept = paper_txns
+        ops = affected_ops(
+            paper_dag.memo, paper_groups["SumOfSals"], t_dept, paper_estimator
+        )
+        assert ops == []
+
+
+class TestEnumeration:
+    def test_paper_has_two_tracks_per_txn(
+        self, paper_dag, paper_groups, paper_estimator, paper_txns
+    ):
+        """The paper's Section 3.6 lists exactly two update tracks for each
+        transaction type (via E2/E4 or via E3/E5)."""
+        memo = paper_dag.memo
+        for txn in paper_txns:
+            tracks = list(
+                enumerate_tracks(memo, [paper_dag.root], txn, paper_estimator)
+            )
+            assert len(tracks) == 2
+
+    def test_tracks_reach_all_targets(
+        self, paper_dag, paper_groups, paper_estimator, paper_txns
+    ):
+        memo = paper_dag.memo
+        t_emp, _ = paper_txns
+        targets = [paper_dag.root, paper_groups["SumOfSals"]]
+        for track in enumerate_tracks(memo, targets, t_emp, paper_estimator):
+            assert paper_dag.root in track
+            assert paper_groups["SumOfSals"] in track
+
+    def test_marking_sumofsals_constrains_nothing_extra(
+        self, paper_dag, paper_groups, paper_estimator, paper_txns
+    ):
+        """With SumOfSals marked, the track through the aggregate route
+        still exists and includes the SumOfSals group's op."""
+        memo = paper_dag.memo
+        t_emp, _ = paper_txns
+        targets = [paper_dag.root, paper_groups["SumOfSals"]]
+        tracks = list(enumerate_tracks(memo, targets, t_emp, paper_estimator))
+        kinds = set()
+        for track in tracks:
+            op = track[paper_groups["agg"]]
+            kinds.add(type(op.template).__name__)
+        assert kinds == {"GroupAggregate", "Join"}
+
+    def test_unaffected_targets_skipped(
+        self, paper_dag, paper_groups, paper_estimator, paper_txns
+    ):
+        _, t_dept = paper_txns
+        tracks = list(
+            enumerate_tracks(
+                paper_dag.memo,
+                [paper_groups["SumOfSals"]],
+                t_dept,
+                paper_estimator,
+            )
+        )
+        assert tracks == [{}]
+
+    def test_limit(self, paper_dag, paper_estimator, paper_txns):
+        t_emp, _ = paper_txns
+        tracks = list(
+            enumerate_tracks(
+                paper_dag.memo, [paper_dag.root], t_emp, paper_estimator, limit=1
+            )
+        )
+        assert len(tracks) == 1
+
+    def test_consistent_choice_per_group(
+        self, paper_dag, paper_estimator, paper_txns
+    ):
+        """A group appearing on several paths uses ONE operation node."""
+        t_emp, _ = paper_txns
+        for track in enumerate_tracks(
+            paper_dag.memo, [paper_dag.root], t_emp, paper_estimator
+        ):
+            assert len(track) == len(set(track))  # dict: trivially one per group
+            for gid, op in track.items():
+                assert paper_dag.memo.find(op.group_id) == gid
+
+
+class TestHelpers:
+    def test_track_ops_sorted(self, paper_dag, paper_estimator, paper_txns):
+        t_emp, _ = paper_txns
+        track = next(
+            enumerate_tracks(paper_dag.memo, [paper_dag.root], t_emp, paper_estimator)
+        )
+        ops = track_ops(track)
+        assert len(ops) == len(track)
+
+    def test_describe(self, paper_dag, paper_estimator, paper_txns):
+        t_emp, _ = paper_txns
+        track = next(
+            enumerate_tracks(paper_dag.memo, [paper_dag.root], t_emp, paper_estimator)
+        )
+        text = describe_track(paper_dag.memo, track)
+        assert "N" in text and "E" in text

@@ -1,0 +1,147 @@
+"""Tests for node statistics and delta-size estimation on the paper DAG."""
+
+import pytest
+
+from repro.algebra.predicates import Compare, TruePred, conjunction
+from repro.algebra.scalar import col, lit
+from repro.cost.estimates import DagEstimator, estimate_selectivity
+from repro.storage.statistics import Catalog
+from repro.workload.transactions import TransactionType, UpdateSpec
+
+
+class TestNodeInfo:
+    def test_leaf_rows(self, paper_estimator, paper_groups):
+        assert paper_estimator.info(paper_groups["Emp"]).rows == 10000
+        assert paper_estimator.info(paper_groups["Dept"]).rows == 1000
+
+    def test_join_rows_and_fanout(self, paper_estimator, paper_groups):
+        info = paper_estimator.info(paper_groups["join"])
+        assert info.rows == 10000
+        assert info.fanout(["DName"]) == 10.0
+
+    def test_aggregate_rows_use_fd(self, paper_estimator, paper_groups):
+        """γ by (DName, Budget) over the join has 1000 groups because
+        DName → Budget, not 10000."""
+        info = paper_estimator.info(paper_groups["agg"])
+        assert info.rows == 1000
+
+    def test_sumofsals_fanout_one(self, paper_estimator, paper_groups):
+        info = paper_estimator.info(paper_groups["SumOfSals"])
+        assert info.rows == 1000
+        assert info.fanout(["DName"]) == 1.0
+
+    def test_fd_reduction_in_join(self, paper_estimator, paper_groups):
+        info = paper_estimator.info(paper_groups["join"])
+        assert info.reduce(["DName", "Budget"]) == {"DName"}
+
+    def test_select_scales_rows(self, paper_estimator, paper_groups):
+        select_info = paper_estimator.info(paper_groups["select"])
+        agg_info = paper_estimator.info(paper_groups["agg"])
+        assert 0 < select_info.rows < agg_info.rows
+
+
+class TestReachability:
+    def test_base_relations(self, paper_estimator, paper_groups, paper_dag):
+        assert paper_estimator.base_relations(paper_dag.root) == {"Emp", "Dept"}
+        assert paper_estimator.base_relations(paper_groups["SumOfSals"]) == {"Emp"}
+
+    def test_affected(self, paper_estimator, paper_groups, paper_txns):
+        t_emp, t_dept = paper_txns
+        assert paper_estimator.affected(paper_groups["SumOfSals"], t_emp)
+        assert not paper_estimator.affected(paper_groups["SumOfSals"], t_dept)
+        assert paper_estimator.affected(paper_groups["join"], t_dept)
+
+
+class TestDeltaStats:
+    def test_unaffected_none(self, paper_estimator, paper_groups, paper_txns):
+        _, t_dept = paper_txns
+        assert paper_estimator.delta(paper_groups["SumOfSals"], t_dept) is None
+
+    def test_emp_modify_at_join(self, paper_estimator, paper_groups, paper_txns):
+        t_emp, _ = paper_txns
+        delta = paper_estimator.delta(paper_groups["join"], t_emp)
+        assert delta.modifies == 1
+        assert delta.distinct_of(["DName"]) == 1
+
+    def test_dept_modify_fans_out(self, paper_estimator, paper_groups, paper_txns):
+        """One Dept modify touches its 10 employees' join rows."""
+        _, t_dept = paper_txns
+        delta = paper_estimator.delta(paper_groups["join"], t_dept)
+        assert delta.modifies == 10
+        assert delta.distinct_of(["DName"]) == 1
+
+    def test_aggregate_delta_one_group(self, paper_estimator, paper_groups, paper_txns):
+        t_emp, t_dept = paper_txns
+        for txn in (t_emp, t_dept):
+            delta = paper_estimator.delta(paper_groups["agg"], txn)
+            assert delta.modifies == 1
+
+    def test_modified_columns_propagate(self, paper_estimator, paper_groups, paper_txns):
+        t_emp, _ = paper_txns
+        delta = paper_estimator.delta(paper_groups["SumOfSals"], t_emp)
+        assert "SalSum" in delta.modified_columns
+        assert "DName" not in delta.modified_columns
+
+    def test_completeness_at_join_for_dept(
+        self, paper_estimator, paper_groups, paper_txns
+    ):
+        """Dept delta joined with all of Emp covers whole DName groups —
+        the fact behind the paper's free Q3d."""
+        _, t_dept = paper_txns
+        delta = paper_estimator.delta(paper_groups["join"], t_dept)
+        assert delta.is_complete_on(["DName", "Budget"])
+
+    def test_no_completeness_for_emp_at_group_cols(
+        self, paper_estimator, paper_groups, paper_txns
+    ):
+        t_emp, _ = paper_txns
+        delta = paper_estimator.delta(paper_groups["join"], t_emp)
+        assert not delta.is_complete_on(["DName", "Budget"])
+        assert delta.is_complete_on(["EName"])
+
+    def test_insert_spec(self, paper_dag, paper_catalog):
+        estimator = DagEstimator(paper_dag.memo, paper_catalog)
+        txn = TransactionType("ins", {"Emp": UpdateSpec(inserts=5)})
+        emp = paper_dag.memo.leaf_group_id("Emp")
+        delta = estimator.delta(emp, txn)
+        assert delta.inserts == 5 and delta.modifies == 0
+
+    def test_scale(self, paper_estimator, paper_groups, paper_txns):
+        t_emp, _ = paper_txns
+        delta = paper_estimator.delta(paper_groups["join"], t_emp)
+        half = delta.scale(0.5)
+        assert half.modifies == 0.5
+        assert delta.scale(1.0) is delta
+
+
+class TestSelectivity:
+    @pytest.fixture
+    def info(self, paper_estimator, paper_groups):
+        return paper_estimator.info(paper_groups["Emp"])
+
+    def test_true(self, info):
+        assert estimate_selectivity(TruePred(), info) == 1.0
+
+    def test_equality_const(self, info):
+        sel = estimate_selectivity(Compare("=", col("DName"), lit("d")), info)
+        assert sel == pytest.approx(1 / 1000)
+
+    def test_range_default(self, info):
+        sel = estimate_selectivity(Compare(">", col("Salary"), lit(50)), info)
+        assert sel == pytest.approx(1 / 3)
+
+    def test_conjunction_multiplies(self, info):
+        pred = conjunction(
+            [Compare(">", col("Salary"), lit(1)), Compare("<", col("Salary"), lit(9))]
+        )
+        assert estimate_selectivity(pred, info) == pytest.approx(1 / 9)
+
+    def test_col_eq_col(self, info):
+        sel = estimate_selectivity(Compare("=", col("DName"), col("EName")), info)
+        assert sel == pytest.approx(1 / 10000)
+
+    def test_not(self, info):
+        from repro.algebra.predicates import Not
+
+        sel = estimate_selectivity(Not(Compare(">", col("Salary"), lit(1))), info)
+        assert sel == pytest.approx(2 / 3)

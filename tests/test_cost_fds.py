@@ -1,0 +1,70 @@
+"""Unit tests for functional dependencies."""
+
+from repro.cost.fds import FDSet
+
+
+class TestClosure:
+    def test_direct(self):
+        fds = FDSet.of((["a"], ["b", "c"]))
+        assert fds.closure(["a"]) == {"a", "b", "c"}
+
+    def test_transitive(self):
+        fds = FDSet.of((["a"], ["b"]), (["b"], ["c"]))
+        assert fds.closure(["a"]) == {"a", "b", "c"}
+
+    def test_no_fds(self):
+        assert FDSet().closure(["x"]) == {"x"}
+
+    def test_composite_determinant(self):
+        fds = FDSet.of((["a", "b"], ["c"]))
+        assert fds.closure(["a"]) == {"a"}
+        assert fds.closure(["a", "b"]) == {"a", "b", "c"}
+
+
+class TestReduce:
+    def test_removes_determined(self):
+        fds = FDSet.of((["d"], ["b"]))
+        assert fds.reduce(["d", "b"]) == {"d"}
+
+    def test_keeps_necessary(self):
+        fds = FDSet.of((["d"], ["b"]))
+        assert fds.reduce(["d", "x"]) == {"d", "x"}
+
+    def test_deterministic_tie_break(self):
+        # a→b and b→a: reduction keeps exactly one, deterministically.
+        fds = FDSet.of((["a"], ["b"]), (["b"], ["a"]))
+        assert len(fds.reduce(["a", "b"])) == 1
+        assert fds.reduce(["a", "b"]) == fds.reduce(["a", "b"])
+
+    def test_preserves_closure(self):
+        fds = FDSet.of((["a"], ["b"]), (["b", "c"], ["d"]))
+        original = frozenset(["a", "b", "c", "d"])
+        reduced = fds.reduce(original)
+        assert fds.closure(reduced) >= fds.closure(original)
+
+
+class TestOperations:
+    def test_implies(self):
+        fds = FDSet.of((["k"], ["v"]))
+        assert fds.implies(["k"], ["v"])
+        assert not fds.implies(["v"], ["k"])
+
+    def test_restrict(self):
+        fds = FDSet.of((["a"], ["b", "c"]), (["z"], ["b"]))
+        restricted = fds.restrict(["a", "b"])
+        assert restricted.implies(["a"], ["b"])
+        assert not restricted.implies(["a"], ["c"])
+        assert not restricted.implies(["z"], ["b"])  # determinant lost
+
+    def test_rename(self):
+        fds = FDSet.of((["a"], ["b"])).rename({"a": "x", "b": "y"})
+        assert fds.implies(["x"], ["y"])
+
+    def test_union_dedupes(self):
+        a = FDSet.of((["a"], ["b"]))
+        merged = a.union(FDSet.of((["a"], ["b"]), (["b"], ["c"])))
+        assert len(merged.fds) == 2
+
+    def test_from_keys(self):
+        fds = FDSet.from_keys([["k"]], ["k", "v", "w"])
+        assert fds.closure(["k"]) == {"k", "v", "w"}

@@ -1,0 +1,127 @@
+"""Tests for DAG construction and expansion — including the paper's
+Figure 2 shape."""
+
+import pytest
+
+from repro.algebra.operators import GroupAggregate, Join
+from repro.algebra.rules import default_rules
+from repro.dag.builder import build_dag, build_multi_dag
+from repro.dag.display import count_trees, render_dag
+from repro.dag.expand import ExpansionLimit, expand
+from repro.dag.memo import Memo
+from repro.workload.generators import chain_view
+from repro.workload.paperdb import (
+    adepts_status_tree,
+    problem_dept_tree,
+    sum_of_sals_tree,
+)
+
+
+class TestFigure2:
+    """The expanded DAG of ProblemDept must contain exactly the paper's
+    equivalence nodes (plus the explicit root projection)."""
+
+    def test_group_inventory(self, paper_dag, paper_groups):
+        memo = paper_dag.memo
+        non_leaf = [g for g in memo.groups() if not g.is_leaf]
+        # join, agg, select, project-root, SumOfSals
+        assert len(non_leaf) == 5
+
+    def test_agg_group_has_join_alternative(self, paper_dag, paper_groups):
+        """The paper's N2 has ops E2 (join with SumOfSals) and E3 (aggregate)."""
+        memo = paper_dag.memo
+        group = memo.group(paper_groups["agg"])
+        kinds = sorted(type(op.template).__name__ for op in group.ops)
+        assert kinds == ["GroupAggregate", "Join"]
+        join_op = next(op for op in group.ops if isinstance(op.template, Join))
+        children = {memo.find(c) for c in join_op.child_ids}
+        assert paper_groups["SumOfSals"] in children
+        assert paper_groups["Dept"] in children
+        assert join_op.projection is not None
+
+    def test_sum_of_sals_shared_with_standalone_view(self, paper_dag, paper_groups):
+        """Inserting SumOfSals as its own view lands in the existing group."""
+        memo = paper_dag.memo
+        gid = memo.insert_tree(sum_of_sals_tree())
+        assert memo.find(gid) == memo.find(paper_groups["SumOfSals"])
+
+    def test_two_trees_represented(self, paper_dag):
+        assert count_trees(paper_dag.memo, paper_dag.root) == 2
+
+    def test_render_mentions_nodes(self, paper_dag):
+        text = render_dag(paper_dag.memo, paper_dag.root)
+        assert "Aggregate(SUM(Salary) BY DName)" in text
+        assert "Join(DName)" in text
+        assert "(leaf)" in text
+
+    def test_candidate_groups_excludes_leaves(self, paper_dag):
+        memo = paper_dag.memo
+        for gid in paper_dag.candidate_groups():
+            assert not memo.group(gid).is_leaf
+
+
+class TestADeptsDag:
+    def test_contains_v1(self):
+        """Example 3.1: the DAG must contain V1 = Dept ⋈ γ(Emp)."""
+        dag = build_dag(adepts_status_tree())
+        memo = dag.memo
+        sum_group = None
+        for group in memo.groups():
+            if set(group.schema.names) == {"DName", "SumSal"}:
+                sum_group = group.id
+        assert sum_group is not None
+        v1 = None
+        for group in memo.groups():
+            for op in group.ops:
+                if isinstance(op.template, Join):
+                    children = {memo.find(c) for c in op.child_ids}
+                    if sum_group in children and memo.leaf_group_id("Dept") in children:
+                        v1 = group.id
+        assert v1 is not None
+
+    def test_join_orders_explored(self):
+        dag = build_dag(adepts_status_tree())
+        assert count_trees(dag.memo, dag.root) > 2
+
+
+class TestMultiDag:
+    def test_shared_groups(self, paper_dag):
+        views = {
+            "ProblemDept": problem_dept_tree(),
+            "SumOfSals": sum_of_sals_tree(),
+        }
+        dag = build_multi_dag(views)
+        assert len(dag.roots) == 2
+        memo = dag.memo
+        # SumOfSals' root is a shared subexpression of ProblemDept's DAG.
+        sos_root = dag.root_of("SumOfSals")
+        assert sos_root in memo.descendants(dag.root_of("ProblemDept"))
+
+    def test_single_root_property_raises_on_multi(self):
+        dag = build_multi_dag(
+            {"A": sum_of_sals_tree(), "B": problem_dept_tree()}
+        )
+        with pytest.raises(ValueError):
+            _ = dag.root
+
+
+class TestExpansionMechanics:
+    def test_chain_join_orders(self):
+        dag = build_dag(chain_view(3))
+        # Left-deep, right-deep and bushy variants of a 3-chain: at least
+        # the two associations.
+        assert count_trees(dag.memo, dag.root) >= 2
+
+    def test_expansion_reaches_fixpoint(self):
+        memo = Memo()
+        memo.insert_tree(problem_dept_tree())
+        expand(memo, default_rules())
+        before = memo.stats()
+        expand(memo, default_rules())
+        assert memo.stats() == before
+
+    def test_ops_limit(self):
+        memo = Memo()
+        memo.insert_tree(chain_view(4))
+        with pytest.raises(ExpansionLimit):
+            expand(memo, default_rules(), max_ops=3)

@@ -1,0 +1,89 @@
+"""Tests for DAG rendering and tree counting."""
+
+from repro.algebra.operators import Join
+from repro.dag.builder import build_dag
+from repro.dag.display import count_trees, render_dag
+from repro.dag.memo import Memo
+from repro.workload.generators import chain_view
+from repro.workload.paperdb import dept_scan, emp_scan, problem_dept_tree
+
+
+class TestRenderDag:
+    def test_paper_dag_render(self, paper_dag):
+        text = render_dag(paper_dag.memo, paper_dag.root)
+        assert "N0 (leaf): Emp" in text
+        assert "E" in text and "Aggregate" in text
+        # Implicit projections are shown.
+        assert "→π(" in text
+
+    def test_render_without_root_shows_all(self, paper_dag):
+        full = render_dag(paper_dag.memo)
+        scoped = render_dag(paper_dag.memo, paper_dag.root)
+        assert len(full) >= len(scoped)
+
+    def test_render_restricted_to_reachable(self):
+        memo = Memo()
+        join_root = memo.insert_tree(Join(emp_scan(), dept_scan()))
+        emp_root = memo.insert_tree(emp_scan())
+        text = render_dag(memo, emp_root)
+        assert "Dept" not in text
+
+
+class TestCountTrees:
+    def test_paper_dag(self, paper_dag):
+        assert count_trees(paper_dag.memo, paper_dag.root) == 2
+
+    def test_single_tree(self):
+        memo = Memo()
+        root = memo.insert_tree(Join(emp_scan(), dept_scan()))
+        assert count_trees(memo, root) == 1
+
+    def test_leaf(self):
+        memo = Memo()
+        root = memo.insert_tree(emp_scan())
+        assert count_trees(memo, root) == 1
+
+    def test_chain_growth(self):
+        counts = []
+        for k in (2, 3, 4):
+            dag = build_dag(chain_view(k))
+            counts.append(count_trees(dag.memo, dag.root))
+        assert counts[0] <= counts[1] <= counts[2]
+        assert counts[2] > counts[0]
+
+    def test_counts_products_over_shared_nodes(self, paper_dag):
+        """Counting respects sharing: the two trees share all leaves."""
+        memo = paper_dag.memo
+        for group in memo.groups():
+            if group.is_leaf:
+                assert count_trees(memo, group.id) == 1
+
+
+class TestToDot:
+    def test_dot_structure(self, paper_dag):
+        from repro.dag.display import to_dot
+
+        dot = to_dot(paper_dag.memo, paper_dag.root, title="ProblemDept")
+        assert dot.startswith("digraph dag {")
+        assert dot.rstrip().endswith("}")
+        assert 'label="ProblemDept"' in dot
+        assert "shape=box3d" in dot  # leaves
+        assert "shape=ellipse" in dot  # operations
+        assert "->" in dot
+
+    def test_marking_doubles_border(self, paper_dag, paper_groups):
+        from repro.dag.display import to_dot
+
+        dot = to_dot(
+            paper_dag.memo,
+            paper_dag.root,
+            marking=frozenset({paper_groups["SumOfSals"]}),
+        )
+        assert "peripheries=2" in dot
+
+    def test_quotes_escaped(self, paper_dag):
+        from repro.dag.display import to_dot
+
+        dot = to_dot(paper_dag.memo, paper_dag.root)
+        for line in dot.splitlines():
+            assert line.count('"') % 2 == 0

@@ -1,0 +1,121 @@
+"""Tests for the expansion engine's mechanics (bindings, fixpoints)."""
+
+import pytest
+
+from repro.algebra.operators import GroupAggregate, Join
+from repro.algebra.rules import Rule, default_rules
+from repro.dag.builder import build_dag
+from repro.dag.expand import ExpansionLimit, _bindings, expand
+from repro.dag.memo import Memo
+from repro.dag.nodes import GroupLeaf
+from repro.workload.paperdb import dept_scan, emp_scan, problem_dept_tree
+
+
+class TestBindings:
+    def test_leaf_children_yield_template_only(self):
+        memo = Memo()
+        root = memo.insert_tree(Join(emp_scan(), dept_scan()))
+        (op,) = memo.group(root).ops
+        bindings = list(_bindings(memo, op))
+        assert len(bindings) == 1
+        assert all(isinstance(c, GroupLeaf) for c in bindings[0].children)
+
+    def test_child_alternatives_expand(self, paper_dag):
+        """Ops whose children have multiple alternatives enumerate them."""
+        memo = paper_dag.memo
+        select_op = next(
+            op
+            for g in memo.groups()
+            for op in g.ops
+            if op.label().startswith("Select")
+        )
+        bindings = list(_bindings(memo, select_op))
+        # The select's child (the paper's N2) has an aggregate alternative
+        # (the projected join alternative is skipped, see below).
+        assert len(bindings) >= 2
+
+    def test_projected_ops_not_expanded_through(self, paper_dag):
+        """Children with implicit projections have superset schemas; rules
+        must not see them, so bindings skip them."""
+        memo = paper_dag.memo
+        select_op = next(
+            op
+            for g in memo.groups()
+            for op in g.ops
+            if op.label().startswith("Select")
+        )
+        for binding in _bindings(memo, select_op):
+            for child in binding.children:
+                if not isinstance(child, GroupLeaf):
+                    assert set(child.schema.names) == set(
+                        memo.group(select_op.child_ids[0]).schema.names
+                    )
+
+
+class TestExpand:
+    def test_idempotent(self):
+        memo = Memo()
+        memo.insert_tree(problem_dept_tree())
+        expand(memo)
+        snapshot = memo.stats()
+        expand(memo)
+        assert memo.stats() == snapshot
+
+    def test_no_rules_no_change(self):
+        memo = Memo()
+        memo.insert_tree(problem_dept_tree())
+        before = memo.stats()
+        expand(memo, rules=[])
+        assert memo.stats() == before
+
+    def test_runaway_rule_hits_op_limit(self):
+        class Pumper(Rule):
+            """Pathological: emits ever-larger selections."""
+
+            name = "pumper"
+            counter = 0
+
+            def apply(self, expr):
+                from repro.algebra.operators import Select
+                from repro.algebra.predicates import Compare
+                from repro.algebra.scalar import col, lit
+
+                if isinstance(expr, Select):
+                    Pumper.counter += 1
+                    yield Select(
+                        expr, Compare(">", col("Salary"), lit(Pumper.counter))
+                    )
+
+        memo = Memo()
+        from repro.algebra.operators import Select
+        from repro.algebra.predicates import Compare
+        from repro.algebra.scalar import col, lit
+
+        memo.insert_tree(Select(emp_scan(), Compare(">", col("Salary"), lit(0))))
+        with pytest.raises(ExpansionLimit):
+            expand(memo, rules=[Pumper()], max_ops=25)
+
+    def test_pass_limit(self):
+        class SlowGrow(Rule):
+            """Adds exactly one new select per pass, never converging fast."""
+
+            name = "slow"
+            n = 0
+
+            def apply(self, expr):
+                from repro.algebra.operators import Select
+                from repro.algebra.predicates import Compare
+                from repro.algebra.scalar import col, lit
+
+                if isinstance(expr, Select):
+                    SlowGrow.n += 1
+                    yield Select(expr, Compare(">", col("Salary"), lit(SlowGrow.n)))
+
+        from repro.algebra.operators import Select
+        from repro.algebra.predicates import Compare
+        from repro.algebra.scalar import col, lit
+
+        memo = Memo()
+        memo.insert_tree(Select(emp_scan(), Compare(">", col("Salary"), lit(0))))
+        with pytest.raises(ExpansionLimit):
+            expand(memo, rules=[SlowGrow()], max_passes=3, max_ops=100_000)

@@ -1,0 +1,178 @@
+"""Unit tests for the memo (equivalence classes, dedup, merging)."""
+
+import pytest
+
+from repro.algebra.operators import (
+    AggSpec,
+    GroupAggregate,
+    Join,
+    Project,
+    Select,
+)
+from repro.algebra.predicates import Compare
+from repro.algebra.scalar import col, lit
+from repro.dag.memo import Memo, MemoError
+from repro.dag.nodes import GroupLeaf
+from repro.workload.paperdb import adepts_scan, dept_scan, emp_scan, sum_of_sals_tree
+
+
+class TestInsertTree:
+    def test_leaf_dedup(self):
+        memo = Memo()
+        g1 = memo.insert_tree(emp_scan())
+        g2 = memo.insert_tree(emp_scan())
+        assert g1 == g2
+        assert memo.leaf_group_id("Emp") == g1
+
+    def test_shared_subexpression_single_group(self):
+        memo = Memo()
+        join = Join(emp_scan(), dept_scan())
+        g1 = memo.insert_tree(join)
+        g2 = memo.insert_tree(join)
+        assert g1 == g2
+        assert memo.stats()["ops"] == 3  # Emp, Dept, Join
+
+    def test_join_commutativity_dedup(self):
+        memo = Memo()
+        g1 = memo.insert_tree(Join(emp_scan(), dept_scan()))
+        g2 = memo.insert_tree(Join(dept_scan(), emp_scan()))
+        assert g1 == g2
+
+    def test_distinct_predicates_distinct_ops(self):
+        memo = Memo()
+        s1 = Select(emp_scan(), Compare(">", col("Salary"), lit(1)))
+        s2 = Select(emp_scan(), Compare(">", col("Salary"), lit(2)))
+        g1 = memo.insert_tree(s1)
+        g2 = memo.insert_tree(s2)
+        assert g1 != g2
+
+    def test_groups_listing(self):
+        memo = Memo()
+        memo.insert_tree(Join(emp_scan(), dept_scan()))
+        groups = memo.groups()
+        assert len(groups) == 3
+        assert sum(1 for g in groups if g.is_leaf) == 2
+
+
+class TestInsertInto:
+    def test_alternative_op_added(self):
+        memo = Memo()
+        root = memo.insert_tree(sum_of_sals_tree())
+        emp = memo.leaf_group_id("Emp")
+        # A (nonsensical but schema-compatible) alternative would merge or
+        # extend; here we re-insert the same template: no change.
+        group = memo.group(root)
+        template = group.ops[0].template
+        assert memo.insert_into(template, root) is False
+
+    def test_superset_schema_gets_projection(self):
+        memo = Memo()
+        agg = GroupAggregate(
+            Join(emp_scan(), dept_scan()),
+            ("DName", "Budget"),
+            (AggSpec("sum", col("Salary"), "SalSum"),),
+        )
+        root = memo.insert_tree(agg)
+        pre = GroupAggregate(emp_scan(), ("DName",), (AggSpec("sum", col("Salary"), "SalSum"),))
+        alternative = Join(pre, dept_scan())
+        assert memo.insert_into(alternative, root) is True
+        ops = memo.group(root).ops
+        projected = [op for op in ops if op.projection is not None]
+        assert len(projected) == 1
+        assert set(projected[0].projection) == {"Budget", "DName", "SalSum"}
+
+    def test_insufficient_schema_rejected(self):
+        memo = Memo()
+        agg = GroupAggregate(
+            Join(emp_scan(), dept_scan()),
+            ("DName", "Budget"),
+            (AggSpec("sum", col("Salary"), "SalSum"),),
+        )
+        root = memo.insert_tree(agg)
+        with pytest.raises(MemoError):
+            memo.insert_into(adepts_scan(), root)
+
+    def test_group_leaf_roundtrip(self):
+        memo = Memo()
+        root = memo.insert_tree(Join(emp_scan(), dept_scan()))
+        leaf = GroupLeaf(root, memo.group(root).schema)
+        gid, changed = memo._insert(leaf, None)
+        assert gid == root and changed is False
+
+
+class TestMerging:
+    def test_rule_merge_via_group_leaf(self):
+        memo = Memo()
+        g1 = memo.insert_tree(Select(emp_scan(), Compare(">", col("Salary"), lit(1))))
+        g2 = memo.insert_tree(Select(emp_scan(), Compare(">", col("Salary"), lit(2))))
+        assert g1 != g2
+        # A rule asserting g2 computes g1 merges the groups.
+        leaf = GroupLeaf(g2, memo.group(g2).schema)
+        memo.insert_into(leaf, g1)
+        assert memo.find(g1) == memo.find(g2)
+        assert len(memo.group(g1).ops) == 2
+
+    def test_merge_mismatched_schema_rejected(self):
+        memo = Memo()
+        g1 = memo.insert_tree(emp_scan())
+        g2 = memo.insert_tree(Join(emp_scan(), dept_scan()))
+        leaf = GroupLeaf(g1, memo.group(g1).schema)
+        with pytest.raises(MemoError):
+            memo.insert_into(leaf, g2)
+
+    def test_descendants(self):
+        memo = Memo()
+        root = memo.insert_tree(sum_of_sals_tree())
+        below = memo.descendants(root)
+        assert memo.leaf_group_id("Emp") in below
+        assert root in below
+        assert len(below) == 2
+
+
+class TestMergeCascades:
+    def test_cascading_merge_via_shared_ops(self):
+        """Merging two groups can make two parent op nodes identical,
+        cascading a parent-group merge through normalization."""
+        from repro.algebra.operators import Select
+        from repro.algebra.predicates import Compare
+        from repro.algebra.scalar import col, lit
+
+        memo = Memo()
+        a = memo.insert_tree(Select(emp_scan(), Compare(">", col("Salary"), lit(1))))
+        b = memo.insert_tree(Select(emp_scan(), Compare(">", col("Salary"), lit(2))))
+        # Identical parent selections over the two (distinct) children.
+        pa = memo.insert_tree(
+            Select(
+                Select(emp_scan(), Compare(">", col("Salary"), lit(1))),
+                Compare("<", col("Salary"), lit(9)),
+            )
+        )
+        pb = memo.insert_tree(
+            Select(
+                Select(emp_scan(), Compare(">", col("Salary"), lit(2))),
+                Compare("<", col("Salary"), lit(9)),
+            )
+        )
+        assert memo.find(pa) != memo.find(pb)
+        # Assert a ≡ b (as a rule would); the parents must merge too.
+        leaf = GroupLeaf(b, memo.group(b).schema)
+        memo.insert_into(leaf, a)
+        assert memo.find(a) == memo.find(b)
+        assert memo.find(pa) == memo.find(pb)
+        # And the merged parent holds a single deduplicated op.
+        assert len(memo.group(pa).ops) == 1
+
+    def test_ops_reference_canonical_children_after_merge(self):
+        from repro.algebra.operators import Select
+        from repro.algebra.predicates import Compare
+        from repro.algebra.scalar import col, lit
+
+        memo = Memo()
+        a = memo.insert_tree(Select(emp_scan(), Compare(">", col("Salary"), lit(1))))
+        b = memo.insert_tree(Select(emp_scan(), Compare(">", col("Salary"), lit(2))))
+        memo.insert_tree(Join(Select(emp_scan(), Compare(">", col("Salary"), lit(1))), dept_scan()))
+        memo.insert_into(GroupLeaf(b, memo.group(b).schema), a)
+        rep = memo.find(a)
+        for op in memo.ops():
+            for cid in op.child_ids:
+                assert memo.find(cid) == cid or memo.find(cid) == rep

@@ -1,0 +1,162 @@
+"""Tests for maintenance-query derivation — Example 3.2's Q2Ld…Q5Re."""
+
+import pytest
+
+from repro.algebra.operators import GroupAggregate, Join
+from repro.dag.queries import derive_queries
+from repro.workload.transactions import TransactionType, UpdateSpec, modify_txn
+
+
+def _op_of(memo, gid, kind):
+    for op in memo.group(gid).ops:
+        if isinstance(op.template, kind):
+            return op
+    raise AssertionError(f"no {kind.__name__} op in group {gid}")
+
+
+@pytest.fixture
+def ctx(paper_dag, paper_groups, paper_estimator, paper_txns):
+    t_emp, t_dept = paper_txns
+    return paper_dag.memo, paper_groups, paper_estimator, t_emp, t_dept
+
+
+class TestJoinQueries:
+    def test_q2re_emp_update_queries_dept(self, ctx):
+        """>Emp at the join-with-SumOfSals op poses Q2Re on Dept."""
+        memo, groups, est, t_emp, _ = ctx
+        op = _op_of(memo, groups["agg"], Join)
+        queries = derive_queries(memo, op, t_emp, frozenset(), est)
+        assert len(queries) == 1
+        (q,) = queries
+        assert memo.find(q.target) == groups["Dept"]
+        assert q.key_columns == {"DName"}
+        assert q.n_keys == 1.0
+        assert q.purpose == "semijoin"
+
+    def test_q2ld_dept_update_queries_sumofsals(self, ctx):
+        memo, groups, est, _, t_dept = ctx
+        op = _op_of(memo, groups["agg"], Join)
+        queries = derive_queries(memo, op, t_dept, frozenset(), est)
+        assert len(queries) == 1
+        assert memo.find(queries[0].target) == groups["SumOfSals"]
+
+    def test_q5_pair_at_base_join(self, ctx):
+        memo, groups, est, t_emp, t_dept = ctx
+        op = _op_of(memo, groups["join"], Join)
+        (q_emp,) = derive_queries(memo, op, t_emp, frozenset(), est)
+        assert memo.find(q_emp.target) == groups["Dept"]  # Q5Re
+        (q_dept,) = derive_queries(memo, op, t_dept, frozenset(), est)
+        assert memo.find(q_dept.target) == groups["Emp"]  # Q5Ld
+
+    def test_both_sides_updated_two_queries(self, ctx):
+        memo, groups, est, *_ = ctx
+        both = TransactionType(
+            "both",
+            {
+                "Emp": UpdateSpec(modifies=1, modified_columns=frozenset({"Salary"})),
+                "Dept": UpdateSpec(modifies=1, modified_columns=frozenset({"Budget"})),
+            },
+        )
+        op = _op_of(memo, groups["join"], Join)
+        queries = derive_queries(memo, op, both, frozenset(), est)
+        assert len(queries) == 2
+        assert {memo.find(q.target) for q in queries} == {groups["Emp"], groups["Dept"]}
+
+
+class TestAggregateQueries:
+    def test_q4e_posed_when_not_materialized(self, ctx):
+        memo, groups, est, t_emp, _ = ctx
+        op = _op_of(memo, groups["SumOfSals"], GroupAggregate)
+        (q,) = derive_queries(memo, op, t_emp, frozenset(), est)
+        assert memo.find(q.target) == groups["Emp"]
+        assert q.purpose == "group-fetch"
+        assert q.key_columns == {"DName"}
+
+    def test_q4e_skipped_when_materialized(self, ctx):
+        """Self-maintainable SUM on a materialized node: no input query."""
+        memo, groups, est, t_emp, _ = ctx
+        op = _op_of(memo, groups["SumOfSals"], GroupAggregate)
+        marking = frozenset({groups["SumOfSals"]})
+        assert derive_queries(memo, op, t_emp, marking, est) == []
+
+    def test_q3e_group_fetch_reduced_by_fd(self, ctx):
+        """Q3e's key columns reduce from (DName, Budget) to DName because
+        DName → Budget inside Emp ⋈ Dept."""
+        memo, groups, est, t_emp, _ = ctx
+        op = _op_of(memo, groups["agg"], GroupAggregate)
+        (q,) = derive_queries(memo, op, t_emp, frozenset(), est)
+        assert q.key_columns == {"DName"}
+        assert memo.find(q.target) == groups["join"]
+
+    def test_q3d_eliminated_by_completeness(self, ctx):
+        """The paper's key-based elimination: a Dept update delivers whole
+        groups to the aggregate, so no query is posed."""
+        memo, groups, est, _, t_dept = ctx
+        op = _op_of(memo, groups["agg"], GroupAggregate)
+        assert derive_queries(memo, op, t_dept, frozenset(), est) == []
+
+    def test_deletes_without_count_need_query(self, ctx):
+        """A bare SUM cannot detect emptied groups: deletions force a
+        group-fetch query even when the node is materialized."""
+        memo, groups, est, *_ = ctx
+        deleter = TransactionType("del", {"Emp": UpdateSpec(deletes=1)})
+        op = _op_of(memo, groups["SumOfSals"], GroupAggregate)
+        marking = frozenset({groups["SumOfSals"]})
+        (q,) = derive_queries(memo, op, deleter, marking, est)
+        assert q.purpose == "group-fetch"
+
+    def test_deletes_with_count_skip(self):
+        """SUM + COUNT is self-maintainable under deletions (classic IVM)."""
+        from repro.algebra.operators import AggSpec, GroupAggregate as GA
+        from repro.algebra.scalar import col
+        from repro.cost.estimates import DagEstimator
+        from repro.dag.builder import build_dag
+        from repro.storage.statistics import Catalog
+        from repro.workload.paperdb import emp_scan
+
+        view = GA(
+            emp_scan(),
+            ("DName",),
+            (AggSpec("count", None, "N"), AggSpec("sum", col("Salary"), "S")),
+        )
+        dag = build_dag(view)
+        est = DagEstimator(dag.memo, Catalog.paper_catalog())
+        deleter = TransactionType("del", {"Emp": UpdateSpec(deletes=1)})
+        op = dag.memo.group(dag.root).ops[0]
+        marking = frozenset({dag.root})
+        assert derive_queries(dag.memo, op, deleter, marking, est) == []
+
+    def test_group_moving_modify_without_count_needs_query(self, ctx):
+        """Modifying a grouping column moves rows between groups — a bare
+        SUM view must query; the paper's Salary-only modify must not."""
+        memo, groups, est, *_ = ctx
+        mover = TransactionType(
+            "mv", {"Emp": UpdateSpec(modifies=1, modified_columns=frozenset({"DName"}))}
+        )
+        op = _op_of(memo, groups["SumOfSals"], GroupAggregate)
+        marking = frozenset({groups["SumOfSals"]})
+        queries = derive_queries(memo, op, mover, marking, est)
+        assert len(queries) == 1
+
+    def test_unaffected_op_no_queries(self, ctx):
+        memo, groups, est, _, t_dept = ctx
+        op = _op_of(memo, groups["SumOfSals"], GroupAggregate)
+        assert derive_queries(memo, op, t_dept, frozenset(), est) == []
+
+
+class TestQueryIdentity:
+    def test_dedup_key_groups_identical_probes(self, ctx):
+        memo, groups, est, t_emp, _ = ctx
+        join_op = _op_of(memo, groups["join"], Join)
+        agg_join_op = _op_of(memo, groups["agg"], Join)
+        (q1,) = derive_queries(memo, join_op, t_emp, frozenset(), est)
+        (q2,) = derive_queries(memo, agg_join_op, t_emp, frozenset(), est)
+        # Q5Re and Q2Re probe the same node with the same key columns: the
+        # multi-query optimizer must treat them as one.
+        assert q1.dedup_key() == q2.dedup_key()
+
+    def test_describe_mentions_node(self, ctx):
+        memo, groups, est, t_emp, _ = ctx
+        op = _op_of(memo, groups["join"], Join)
+        (q,) = derive_queries(memo, op, t_emp, frozenset(), est)
+        assert f"N{groups['Dept']}" in q.describe(memo)

@@ -1,0 +1,190 @@
+"""Tests for deferred (batched) maintenance and delta composition."""
+
+import random
+
+import pytest
+
+from repro.algebra.multiset import Multiset
+from repro.algebra.schema import Schema
+from repro.algebra.types import DataType
+from repro.core.optimizer import evaluate_view_set
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import build_dag
+from repro.ivm.deferred import DeferredMaintainer, compose_deltas
+from repro.ivm.delta import Delta
+from repro.ivm.maintainer import ViewMaintainer
+from repro.storage.statistics import Catalog
+from repro.workload.paperdb import problem_dept_tree
+from repro.workload.transactions import Transaction, paper_transactions
+
+KEYED = Schema.of(("K", DataType.INT), ("V", DataType.INT), keys=[["K"]])
+
+
+class TestComposeDeltas:
+    def test_sequential_modifies_collapse(self):
+        d1 = Delta.modification([((1, 10), (1, 20))])
+        d2 = Delta.modification([((1, 20), (1, 30))])
+        composed = compose_deltas(KEYED, [d1, d2])
+        assert composed.modifies == [((1, 10), (1, 30))]
+        assert not composed.inserts and not composed.deletes
+
+    def test_insert_then_delete_cancels(self):
+        d1 = Delta.insertion([(5, 50)])
+        d2 = Delta.deletion([(5, 50)])
+        assert compose_deltas(KEYED, [d1, d2]).is_empty
+
+    def test_insert_then_modify_becomes_insert(self):
+        d1 = Delta.insertion([(5, 50)])
+        d2 = Delta.modification([((5, 50), (5, 60))])
+        composed = compose_deltas(KEYED, [d1, d2])
+        assert composed.inserts.count((5, 60)) == 1
+        assert not composed.modifies and not composed.deletes
+
+    def test_modify_then_delete_becomes_delete(self):
+        d1 = Delta.modification([((1, 10), (1, 20))])
+        d2 = Delta.deletion([(1, 20)])
+        composed = compose_deltas(KEYED, [d1, d2])
+        assert composed.deletes.count((1, 10)) == 1
+
+    def test_roundtrip_modify_vanishes(self):
+        d1 = Delta.modification([((1, 10), (1, 20))])
+        d2 = Delta.modification([((1, 20), (1, 10))])
+        assert compose_deltas(KEYED, [d1, d2]).is_empty
+
+    def test_empty_sequence(self):
+        assert compose_deltas(KEYED, []).is_empty
+
+    def test_net_preserved(self):
+        deltas = [
+            Delta.insertion([(1, 1), (2, 2)]),
+            Delta.modification([((1, 1), (1, 5))]),
+            Delta.deletion([(2, 2)]),
+        ]
+        composed = compose_deltas(KEYED, deltas)
+        expected = Multiset()
+        for d in deltas:
+            expected.update(d.net())
+        assert composed.net() == expected
+
+
+@pytest.fixture
+def deferred(small_paper_db):
+    db = small_paper_db
+    dag = build_dag(problem_dept_tree())
+    estimator = DagEstimator(dag.memo, Catalog.from_database(db))
+    cost_model = PageIOCostModel(dag.memo, estimator, CostConfig(root_group=dag.root))
+    txns = paper_transactions()
+    sumofsals = next(
+        g.id for g in dag.memo.groups() if set(g.schema.names) == {"DName", "SalSum"}
+    )
+    marking = frozenset({dag.root, dag.memo.find(sumofsals)})
+    ev = evaluate_view_set(dag.memo, marking, txns, cost_model, estimator)
+    maintainer = ViewMaintainer(
+        db,
+        dag,
+        marking,
+        txns,
+        {name: plan.track for name, plan in ev.per_txn.items()},
+        estimator,
+        cost_model,
+    )
+    maintainer.materialize()
+    return db, DeferredMaintainer(maintainer)
+
+
+def _emp_raise(db, rng, amount=5):
+    old = rng.choice(sorted(db.relation("Emp").contents().rows()))
+    new = (old[0], old[1], old[2] + amount)
+    return Transaction(">Emp", {"Emp": Delta.modification([(old, new)])})
+
+
+class TestDeferredMaintainer:
+    def test_queue_defers_database(self, deferred):
+        db, dm = deferred
+        before = db.relation("Emp").contents()
+        rng = random.Random(0)
+        dm.enqueue(_emp_raise(db, rng))
+        assert dm.pending == 1
+        assert db.relation("Emp").contents() == before
+        dm.flush()
+        assert dm.pending == 0
+        assert db.relation("Emp").contents() != before
+        dm.maintainer.verify()
+
+    def test_flush_empty_queue(self, deferred):
+        _, dm = deferred
+        assert dm.flush() is None
+
+    def test_batch_correctness(self, deferred):
+        db, dm = deferred
+        rng = random.Random(1)
+        for _ in range(3):
+            for _ in range(5):
+                dm.enqueue(_emp_raise(db, rng, rng.randint(1, 20)))
+            dm.flush()
+            dm.maintainer.verify()
+
+    def test_mixed_relation_batch(self, deferred):
+        db, dm = deferred
+        rng = random.Random(2)
+        dm.enqueue(_emp_raise(db, rng))
+        dept = sorted(db.relation("Dept").contents().rows())[0]
+        dm.enqueue(
+            Transaction(
+                ">Dept",
+                {"Dept": Delta.modification([(dept, (dept[0], dept[1], dept[2] - 5))])},
+            )
+        )
+        combined = dm.flush()
+        assert combined is not None
+        assert combined.updated_relations == {"Emp", "Dept"}
+        dm.maintainer.verify()
+
+    def test_cancelling_batch_is_free(self, deferred):
+        db, dm = deferred
+        emp = sorted(db.relation("Emp").contents().rows())[0]
+        up = (emp[0], emp[1], emp[2] + 10)
+        dm.enqueue(Transaction(">Emp", {"Emp": Delta.modification([(emp, up)])}))
+        dm.enqueue(Transaction(">Emp", {"Emp": Delta.modification([(up, emp)])}))
+        db.counter.reset()
+        assert dm.flush() is None
+        assert db.counter.total == 0
+
+    def test_batching_amortizes_io(self, deferred):
+        """k raises to the same employee: one group update, not k."""
+        db, dm = deferred
+        rng = random.Random(3)
+        emp = sorted(db.relation("Emp").contents().rows())[0]
+
+        # Per-transaction baseline.
+        db.counter.reset()
+        current = emp
+        for i in range(5):
+            new = (current[0], current[1], current[2] + 1)
+            dm.enqueue(Transaction(">Emp", {"Emp": Delta.modification([(current, new)])}))
+            dm.flush()
+            current = new
+        per_txn_cost = db.counter.total
+        dm.maintainer.verify()
+
+        # Batched.
+        db.counter.reset()
+        for i in range(5):
+            new = (current[0], current[1], current[2] + 1)
+            dm.enqueue(Transaction(">Emp", {"Emp": Delta.modification([(current, new)])}))
+            current = new
+        dm.flush()
+        batched_cost = db.counter.total
+        dm.maintainer.verify()
+        assert batched_cost < per_txn_cost
+
+    def test_transient_name_cleaned_up(self, deferred):
+        db, dm = deferred
+        rng = random.Random(4)
+        dm.enqueue(_emp_raise(db, rng))
+        dm.flush()
+        assert not any(
+            name.startswith("__batch") for name in dm.maintainer.txn_types
+        )

@@ -1,0 +1,160 @@
+"""Tests for growth-only MIN/MAX self-maintenance."""
+
+import random
+
+import pytest
+
+from repro.algebra.operators import AggSpec, GroupAggregate
+from repro.algebra.scalar import col
+from repro.core.optimizer import evaluate_view_set
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import build_dag
+from repro.dag.queries import derive_queries
+from repro.ivm.delta import Delta
+from repro.ivm.maintainer import ViewMaintainer
+from repro.ivm.propagate import can_self_maintain
+from repro.storage.database import Database
+from repro.storage.statistics import Catalog
+from repro.workload.paperdb import EMP_SCHEMA, emp_scan
+from repro.workload.transactions import Transaction, TransactionType, UpdateSpec
+
+MAX_VIEW = GroupAggregate(
+    emp_scan(), ("DName",), (AggSpec("max", col("Salary"), "TopSal"),)
+)
+
+INSERT_TXN = TransactionType("ins", {"Emp": UpdateSpec(inserts=1)})
+DELETE_TXN = TransactionType("del", {"Emp": UpdateSpec(deletes=1)})
+RAISE_TXN = TransactionType(
+    "raise", {"Emp": UpdateSpec(modifies=1, modified_columns=frozenset({"Salary"}))}
+)
+RENAME_TXN = TransactionType(
+    "rename", {"Emp": UpdateSpec(modifies=1, modified_columns=frozenset({"EName"}))}
+)
+
+
+class TestCanSelfMaintain:
+    def test_insert_only_max_allowed(self):
+        assert can_self_maintain(MAX_VIEW, removals=False)
+
+    def test_max_with_removals_blocked(self):
+        assert not can_self_maintain(MAX_VIEW, removals=True)
+
+    def test_max_with_arg_modification_blocked(self):
+        assert not can_self_maintain(
+            MAX_VIEW, removals=False, modified_columns={"Salary"}
+        )
+
+    def test_max_with_unrelated_modification_allowed(self):
+        assert can_self_maintain(
+            MAX_VIEW, removals=False, modified_columns={"EName"}
+        )
+
+
+class TestQueryDerivation:
+    @pytest.fixture
+    def ctx(self):
+        dag = build_dag(MAX_VIEW)
+        estimator = DagEstimator(dag.memo, Catalog.paper_catalog())
+        op = dag.memo.group(dag.root).ops[0]
+        return dag, estimator, op
+
+    def test_insert_skips_query(self, ctx):
+        dag, est, op = ctx
+        marking = frozenset({dag.root})
+        assert derive_queries(dag.memo, op, INSERT_TXN, marking, est) == []
+
+    def test_delete_poses_query(self, ctx):
+        dag, est, op = ctx
+        marking = frozenset({dag.root})
+        (q,) = derive_queries(dag.memo, op, DELETE_TXN, marking, est)
+        assert q.purpose == "group-fetch"
+
+    def test_salary_raise_poses_query(self, ctx):
+        """Modifying the MAX argument needs the input (could shrink)."""
+        dag, est, op = ctx
+        marking = frozenset({dag.root})
+        (q,) = derive_queries(dag.memo, op, RAISE_TXN, marking, est)
+        assert q.purpose == "group-fetch"
+
+    def test_rename_skips_query(self, ctx):
+        dag, est, op = ctx
+        marking = frozenset({dag.root})
+        assert derive_queries(dag.memo, op, RENAME_TXN, marking, est) == []
+
+
+class TestExecution:
+    @pytest.fixture
+    def maintainer(self):
+        rng = random.Random(0)
+        db = Database()
+        emps = [
+            (f"e{i}", f"d{i % 3}", rng.randint(10, 90)) for i in range(9)
+        ]
+        db.create_relation("Emp", EMP_SCHEMA, emps, indexes=[["DName"]])
+        dag = build_dag(MAX_VIEW)
+        estimator = DagEstimator(dag.memo, Catalog.from_database(db))
+        cost_model = PageIOCostModel(
+            dag.memo, estimator, CostConfig(root_group=dag.root)
+        )
+        txns = (INSERT_TXN, DELETE_TXN, RAISE_TXN, RENAME_TXN)
+        marking = frozenset({dag.root})
+        ev = evaluate_view_set(dag.memo, marking, txns, cost_model, estimator)
+        m = ViewMaintainer(
+            db,
+            dag,
+            marking,
+            txns,
+            {name: plan.track for name, plan in ev.per_txn.items()},
+            estimator,
+            cost_model,
+            charge_root_update=True,
+        )
+        m.materialize()
+        return db, m, rng
+
+    def test_insert_stream_self_maintains(self, maintainer):
+        db, m, rng = maintainer
+        for i in range(8):
+            row = (f"n{i}", f"d{rng.randrange(4)}", rng.randint(5, 120))
+            m.apply(Transaction("ins", {"Emp": Delta.insertion([row])}))
+            m.verify()
+
+    def test_mixed_stream_correct(self, maintainer):
+        db, m, rng = maintainer
+        for i in range(16):
+            emps = sorted(db.relation("Emp").contents().rows())
+            kind = rng.choice(["ins", "del", "raise", "rename"])
+            if kind == "ins":
+                txn = Transaction(
+                    "ins",
+                    {"Emp": Delta.insertion([(f"m{i}", f"d{rng.randrange(3)}", rng.randint(5, 120))])},
+                )
+            elif kind == "del" and emps:
+                txn = Transaction("del", {"Emp": Delta.deletion([rng.choice(emps)])})
+            elif kind == "raise" and emps:
+                old = rng.choice(emps)
+                txn = Transaction(
+                    "raise",
+                    {"Emp": Delta.modification([(old, (old[0], old[1], old[2] - 5))])},
+                )
+            elif kind == "rename" and emps:
+                old = rng.choice(emps)
+                txn = Transaction(
+                    "rename",
+                    {"Emp": Delta.modification([(old, (f"r{i}", old[1], old[2]))])},
+                )
+            else:
+                continue
+            m.apply(txn)
+            m.verify()
+
+    def test_insert_cost_is_read_modify_write(self, maintainer):
+        """An insert into an existing group: probe + write = 3 I/Os."""
+        db, m, rng = maintainer
+        db.counter.reset()
+        m.apply(
+            Transaction("ins", {"Emp": Delta.insertion([("zz", "d0", 200)])})
+        )
+        assert db.counter.total == 3

@@ -1,0 +1,64 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.sql.lexer import SQLSyntaxError, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Where")[0] == ("keyword", "SELECT")
+        assert kinds("select FROM Where")[2] == ("keyword", "WHERE")
+
+    def test_identifiers(self):
+        assert ("ident", "Dept") in kinds("Dept")
+        assert ("ident", "snake_case_1") in kinds("snake_case_1")
+
+    def test_qualified_name_tokens(self):
+        assert kinds("Dept.DName") == [
+            ("ident", "Dept"),
+            ("symbol", "."),
+            ("ident", "DName"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("42") == [("number", "42")]
+        assert kinds("3.5") == [("number", "3.5")]
+
+    def test_number_then_dot_ident(self):
+        # '1.x' must not swallow the dot into the number.
+        assert kinds("1 . x")[0] == ("number", "1")
+
+    def test_strings(self):
+        assert kinds("'hello world'") == [("string", "hello world")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        assert [v for _, v in kinds("a <= b <> c != d")] == [
+            "a", "<=", "b", "!=", "c", "!=", "d",
+        ]
+
+    def test_groupby_keyword(self):
+        assert kinds("GROUPBY")[0] == ("keyword", "GROUPBY")
+
+    def test_comments_skipped(self):
+        assert kinds("a -- comment\n b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("a @ b")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_eof_terminates(self):
+        assert tokenize("")[-1].kind == "eof"

@@ -1,0 +1,170 @@
+"""Unit tests for SQL → algebra translation."""
+
+import pytest
+
+from repro.algebra.evaluate import evaluate
+from repro.algebra.multiset import Multiset
+from repro.algebra.operators import GroupAggregate, Join, Project, Select
+from repro.sql.translate import SQLTranslationError, translate_sql
+from repro.workload.paperdb import (
+    ADEPTS_SCHEMA,
+    DEPT_SCHEMA,
+    EMP_SCHEMA,
+    problem_dept_tree,
+)
+
+SCHEMAS = {"Dept": DEPT_SCHEMA, "Emp": EMP_SCHEMA, "ADepts": ADEPTS_SCHEMA}
+
+DB = {
+    "Emp": Multiset([("a", "toys", 50), ("b", "toys", 60), ("c", "books", 40)]),
+    "Dept": Multiset([("toys", "m1", 100), ("books", "m2", 90)]),
+    "ADepts": Multiset([("toys",)]),
+}
+
+
+class TestPaperViews:
+    def test_problem_dept_matches_manual_tree(self):
+        result = translate_sql(
+            """
+            CREATE VIEW ProblemDept (DName) AS
+            SELECT Dept.DName FROM Emp, Dept
+            WHERE Dept.DName = Emp.DName
+            GROUPBY Dept.DName, Budget
+            HAVING SUM(Salary) > Budget
+            """,
+            SCHEMAS,
+        )
+        assert result.name == "ProblemDept"
+        assert not result.is_assertion
+        assert evaluate(result.expr, DB) == evaluate(problem_dept_tree(), DB)
+
+    def test_sum_of_sals(self):
+        result = translate_sql(
+            "CREATE VIEW SumOfSals (DName, SalSum) AS "
+            "SELECT DName, SUM(Salary) FROM Emp GROUPBY DName",
+            SCHEMAS,
+        )
+        assert result.expr.schema.names == ("DName", "SalSum")
+        assert evaluate(result.expr, DB).count(("toys", 110)) == 1
+
+    def test_assertion(self):
+        result = translate_sql(
+            """
+            CREATE ASSERTION DeptConstraint CHECK (NOT EXISTS (
+                SELECT Dept.DName FROM Emp, Dept
+                WHERE Dept.DName = Emp.DName
+                GROUPBY Dept.DName, Budget
+                HAVING SUM(Salary) > Budget))
+            """,
+            SCHEMAS,
+        )
+        assert result.is_assertion
+        assert evaluate(result.expr, DB) == Multiset([("toys",)])
+
+    def test_adepts_status(self):
+        result = translate_sql(
+            """
+            SELECT Dept.DName, Budget, SUM(Salary) FROM Emp, Dept, ADepts
+            WHERE Dept.DName = Emp.DName AND Emp.DName = ADepts.DName
+            GROUPBY Dept.DName, Budget
+            """,
+            SCHEMAS,
+        )
+        assert evaluate(result.expr, DB).count(("toys", 100, 110)) == 1
+
+
+class TestShapes:
+    def test_join_condition_absorbed(self):
+        result = translate_sql(
+            "SELECT EName FROM Emp, Dept WHERE Emp.DName = Dept.DName", SCHEMAS
+        )
+        assert isinstance(result.expr, Project)
+        assert isinstance(result.expr.input, Join)  # no residual Select
+
+    def test_filter_kept_as_select(self):
+        result = translate_sql("SELECT EName FROM Emp WHERE Salary > 50", SCHEMAS)
+        assert isinstance(result.expr.input, Select)
+
+    def test_distinct(self):
+        result = translate_sql("SELECT DISTINCT DName FROM Emp", SCHEMAS)
+        assert result.expr.dedup
+        assert evaluate(result.expr, DB).count(("toys",)) == 1
+
+    def test_star_expansion(self):
+        result = translate_sql("SELECT * FROM Dept", SCHEMAS)
+        assert set(result.expr.schema.names) == {"DName", "MName", "Budget"}
+
+    def test_star_over_join_merges_shared(self):
+        result = translate_sql(
+            "SELECT * FROM Emp, Dept WHERE Emp.DName = Dept.DName", SCHEMAS
+        )
+        assert list(result.expr.schema.names).count("DName") == 1
+
+    def test_shared_aggregate_select_and_having(self):
+        result = translate_sql(
+            "SELECT DName, SUM(Salary) FROM Emp GROUPBY DName "
+            "HAVING SUM(Salary) > 100",
+            SCHEMAS,
+        )
+        agg_nodes = [
+            n for n in result.expr.walk() if isinstance(n, GroupAggregate)
+        ]
+        assert len(agg_nodes) == 1
+        assert len(agg_nodes[0].aggregates) == 1  # not registered twice
+        assert evaluate(result.expr, DB).count(("toys", 110)) == 1
+
+    def test_count_star(self):
+        result = translate_sql("SELECT DName, COUNT(*) FROM Emp GROUPBY DName", SCHEMAS)
+        assert evaluate(result.expr, DB).count(("toys", 2)) == 1
+
+    def test_arithmetic_in_aggregate(self):
+        result = translate_sql(
+            "SELECT DName, SUM(Salary * 2) FROM Emp GROUPBY DName", SCHEMAS
+        )
+        assert evaluate(result.expr, DB).count(("toys", 220)) == 1
+
+    def test_plain_select(self):
+        result = translate_sql("SELECT EName FROM Emp", SCHEMAS)
+        assert result.name == "query"
+
+
+class TestErrors:
+    def test_unknown_relation(self):
+        with pytest.raises(SQLTranslationError):
+            translate_sql("SELECT x FROM Nope", SCHEMAS)
+
+    def test_unknown_column(self):
+        with pytest.raises(SQLTranslationError):
+            translate_sql("SELECT Wage FROM Emp", SCHEMAS)
+
+    def test_unknown_qualifier(self):
+        with pytest.raises(SQLTranslationError):
+            translate_sql("SELECT Nope.DName FROM Emp", SCHEMAS)
+
+    def test_self_join_rejected(self):
+        with pytest.raises(SQLTranslationError):
+            translate_sql("SELECT e1.EName FROM Emp e1, Emp e2", SCHEMAS)
+
+    def test_aggregate_in_where_rejected(self):
+        with pytest.raises(SQLTranslationError):
+            translate_sql("SELECT EName FROM Emp WHERE SUM(Salary) > 5", SCHEMAS)
+
+    def test_nested_aggregates_rejected(self):
+        with pytest.raises(SQLTranslationError):
+            translate_sql(
+                "SELECT DName, SUM(SUM(Salary)) FROM Emp GROUPBY DName", SCHEMAS
+            )
+
+    def test_having_without_group_rejected(self):
+        with pytest.raises(SQLTranslationError):
+            translate_sql("SELECT EName FROM Emp HAVING EName = 'x'", SCHEMAS)
+
+    def test_non_aggregated_column_rejected(self):
+        with pytest.raises(SQLTranslationError):
+            translate_sql("SELECT EName, SUM(Salary) FROM Emp", SCHEMAS)
+
+    def test_view_column_count_mismatch(self):
+        with pytest.raises(SQLTranslationError):
+            translate_sql(
+                "CREATE VIEW V (A, B) AS SELECT DName FROM Dept", SCHEMAS
+            )

@@ -1,0 +1,128 @@
+"""Tests for equi-depth histograms and histogram-driven selectivity."""
+
+import random
+
+import pytest
+
+from repro.algebra.predicates import Compare
+from repro.algebra.scalar import col, lit
+from repro.cost.estimates import DagEstimator, estimate_selectivity
+from repro.dag.builder import build_dag
+from repro.storage.database import Database
+from repro.storage.histograms import Histogram
+from repro.storage.statistics import Catalog
+from repro.workload.paperdb import EMP_SCHEMA, emp_scan
+
+
+class TestHistogramConstruction:
+    def test_equi_depth(self):
+        h = Histogram.build(list(range(100)), buckets=10)
+        assert h.buckets == 10
+        assert h.depth == 10.0
+        assert h.low == 0 and h.high == 99
+
+    def test_fewer_values_than_buckets(self):
+        h = Histogram.build([1, 2], buckets=10)
+        assert h.buckets <= 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram.build([])
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram((3.0, 1.0), 1.0, 2.0, 2.0)
+
+    def test_constant_column(self):
+        h = Histogram.build([5] * 50, buckets=10)
+        assert h.low == h.high == 5
+        assert h.selectivity("=", 5) == 1.0
+        assert h.selectivity("<", 5) == 0.0
+
+
+class TestSelectivityAccuracy:
+    @pytest.fixture(scope="class")
+    def skewed(self):
+        """90% of values in [0, 10), 10% in [10, 1000)."""
+        rng = random.Random(0)
+        values = [rng.uniform(0, 10) for _ in range(900)]
+        values += [rng.uniform(10, 1000) for _ in range(100)]
+        return values, Histogram.build(values, buckets=20)
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">="])
+    @pytest.mark.parametrize("threshold", [5, 10, 100, 500])
+    def test_range_estimates_close(self, skewed, op, threshold):
+        values, h = skewed
+        import operator as _op
+
+        fn = {"<": _op.lt, "<=": _op.le, ">": _op.gt, ">=": _op.ge}[op]
+        truth = sum(1 for v in values if fn(v, threshold)) / len(values)
+        assert h.selectivity(op, threshold) == pytest.approx(truth, abs=0.08)
+
+    def test_out_of_range(self, skewed):
+        _, h = skewed
+        assert h.selectivity("<", -5) == 0.0
+        assert h.selectivity(">", 10_000) == 0.0
+        assert h.selectivity("=", -5) == 0.0
+
+    def test_complement(self, skewed):
+        _, h = skewed
+        for threshold in (3, 42, 700):
+            assert h.selectivity("<=", threshold) + h.selectivity(
+                ">", threshold
+            ) == pytest.approx(1.0)
+
+    def test_equality_uses_distinct(self):
+        h = Histogram.build(list(range(50)), buckets=5)
+        assert h.selectivity("=", 25) == pytest.approx(1 / 50)
+        assert h.selectivity("!=", 25) == pytest.approx(49 / 50)
+
+
+class TestIntegration:
+    @pytest.fixture(scope="class")
+    def estimator(self):
+        rng = random.Random(1)
+        db = Database()
+        # Salaries skewed low: the 1/3 guess would be far off for >80.
+        emps = [
+            (f"e{i}", f"d{i % 5}", rng.choice([10, 20, 30, 30, 30, 90]))
+            for i in range(300)
+        ]
+        db.create_relation("Emp", EMP_SCHEMA, emps, indexes=[["DName"]])
+        dag = build_dag(emp_scan())
+        return db, DagEstimator(dag.memo, Catalog.from_database(db)), dag
+
+    def test_catalog_collects_histograms(self, estimator):
+        db, est, dag = estimator
+        stats = est.info(dag.memo.leaf_group_id("Emp")).stats
+        assert stats.histogram_for("Salary") is not None
+        assert stats.histogram_for("DName") is None  # strings: no histogram
+
+    def test_selectivity_uses_histogram(self, estimator):
+        db, est, dag = estimator
+        info = est.info(dag.memo.leaf_group_id("Emp"))
+        sel = estimate_selectivity(Compare(">", col("Salary"), lit(80)), info)
+        truth = sum(
+            1 for r in db.relation("Emp").contents().rows() if r[2] > 80
+        ) / db.relation("Emp").row_count
+        assert sel == pytest.approx(truth, abs=0.05)
+        assert sel != pytest.approx(1 / 3, abs=0.05)  # not the default guess
+
+    def test_reversed_operand_order(self, estimator):
+        db, est, dag = estimator
+        info = est.info(dag.memo.leaf_group_id("Emp"))
+        left = estimate_selectivity(Compare(">", col("Salary"), lit(25)), info)
+        right = estimate_selectivity(Compare("<", lit(25), col("Salary")), info)
+        assert left == pytest.approx(right)
+
+    def test_string_comparison_falls_back(self, estimator):
+        db, est, dag = estimator
+        info = est.info(dag.memo.leaf_group_id("Emp"))
+        sel = estimate_selectivity(Compare(">", col("DName"), lit("d2")), info)
+        assert sel == pytest.approx(1 / 3)
+
+    def test_histograms_optional(self):
+        from repro.storage.statistics import TableStats
+
+        stats = TableStats(10.0, {"a": 5.0})
+        assert stats.histogram_for("a") is None

@@ -1,0 +1,72 @@
+"""Unit tests for hash indexes."""
+
+import pytest
+
+from repro.algebra.multiset import Multiset
+from repro.algebra.schema import Schema
+from repro.algebra.types import DataType
+from repro.storage.index import HashIndex
+from repro.storage.pager import IOCounter
+
+SCHEMA = Schema.of(("A", DataType.INT), ("B", DataType.STRING))
+
+
+@pytest.fixture
+def index():
+    counter = IOCounter()
+    idx = HashIndex(SCHEMA, ("B",), counter)
+    idx.rebuild(Multiset([(1, "x"), (2, "x"), (3, "y")]))
+    return idx
+
+
+class TestProbe:
+    def test_probe_returns_matches(self, index):
+        assert index.probe(("x",)).total() == 2
+
+    def test_probe_charges(self, index):
+        index.probe(("x",))
+        snap = index._counter.snapshot()
+        assert snap.index_reads == 1
+        assert snap.tuple_reads == 2
+
+    def test_probe_miss_charges_index_only(self, index):
+        assert not index.probe(("zzz",))
+        snap = index._counter.snapshot()
+        assert snap.index_reads == 1 and snap.tuple_reads == 0
+
+    def test_probe_free_uncharged(self, index):
+        assert index.probe_free(("y",)).total() == 1
+        assert index._counter.total == 0
+
+    def test_probe_returns_copy(self, index):
+        result = index.probe_free(("x",))
+        result.add((9, "x"), 1)
+        assert index.probe_free(("x",)).total() == 2
+
+
+class TestMaintenance:
+    def test_add_and_remove(self, index):
+        index.add((4, "y"), 1)
+        assert index.probe_free(("y",)).total() == 2
+        index.add((4, "y"), -1)
+        assert index.probe_free(("y",)).total() == 1
+
+    def test_empty_bucket_dropped(self, index):
+        index.add((3, "y"), -1)
+        assert index.distinct_keys() == 1
+
+    def test_apply_returns_pages(self, index):
+        delta = Multiset({(5, "x"): 1, (6, "z"): 1})
+        reads, writes = index.apply(delta)
+        assert reads == writes == 2
+
+    def test_keys_touched(self, index):
+        assert index.keys_touched([(1, "x"), (2, "x"), (3, "y")]) == 2
+
+    def test_key_of(self, index):
+        assert index.key_of((7, "q")) == ("q",)
+
+    def test_multi_column_index(self):
+        idx = HashIndex(SCHEMA, ("A", "B"), IOCounter())
+        idx.rebuild(Multiset([(1, "x")]))
+        assert idx.probe_free((1, "x")).total() == 1

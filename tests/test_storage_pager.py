@@ -1,0 +1,48 @@
+"""Unit tests for page-I/O accounting."""
+
+from repro.storage.pager import IOCounter, IOStats
+
+
+class TestIOCounter:
+    def test_charges_accumulate(self):
+        c = IOCounter()
+        c.charge_index_read(2)
+        c.charge_index_write()
+        c.charge_tuple_read(3)
+        c.charge_tuple_write(4)
+        snap = c.snapshot()
+        assert snap == IOStats(2, 1, 3, 4)
+        assert snap.total == 10
+        assert c.total == 10
+
+    def test_reset(self):
+        c = IOCounter()
+        c.charge_tuple_read(5)
+        c.reset()
+        assert c.total == 0
+
+    def test_suspended(self):
+        c = IOCounter()
+        with c.suspended():
+            c.charge_tuple_read(100)
+        assert c.total == 0
+        c.charge_tuple_read(1)
+        assert c.total == 1
+
+    def test_suspended_nests(self):
+        c = IOCounter()
+        with c.suspended():
+            with c.suspended():
+                c.charge_index_read()
+            c.charge_index_read()
+        assert c.total == 0
+
+
+class TestIOStats:
+    def test_subtraction(self):
+        a = IOStats(5, 4, 3, 2)
+        b = IOStats(1, 1, 1, 1)
+        assert (a - b) == IOStats(4, 3, 2, 1)
+
+    def test_str_mentions_total(self):
+        assert "10 I/Os" in str(IOStats(1, 2, 3, 4))

@@ -1,0 +1,133 @@
+"""Unit tests for stored relations: charging policy and key enforcement."""
+
+import pytest
+
+from repro.algebra.schema import Schema
+from repro.algebra.types import DataType
+from repro.ivm.delta import Delta
+from repro.storage.pager import IOCounter
+from repro.storage.relation import StorageError, StoredRelation
+
+SCHEMA = Schema.of(
+    ("K", DataType.INT), ("G", DataType.STRING), ("V", DataType.INT), keys=[["K"]]
+)
+
+
+@pytest.fixture
+def relation():
+    counter = IOCounter()
+    rel = StoredRelation("T", SCHEMA, counter)
+    rel.load([(i, f"g{i % 3}", i * 10) for i in range(9)])
+    rel.create_index(["G"])
+    return rel
+
+
+class TestLoadAndRead:
+    def test_load_is_free(self, relation):
+        assert relation.counter.total == 0
+        assert relation.row_count == 9
+
+    def test_contents_uncharged(self, relation):
+        assert relation.contents().total() == 9
+        assert relation.counter.total == 0
+
+    def test_scan_charges_per_tuple(self, relation):
+        relation.scan()
+        assert relation.counter.snapshot().tuple_reads == 9
+
+    def test_lookup_charges_index_plus_matches(self, relation):
+        result = relation.lookup(["G"], ("g0",))
+        assert result.total() == 3
+        snap = relation.counter.snapshot()
+        assert snap.index_reads == 1
+        assert snap.tuple_reads == 3
+
+    def test_lookup_without_index_raises(self, relation):
+        with pytest.raises(StorageError):
+            relation.lookup(["V"], (10,))
+
+
+class TestModifies:
+    def test_paper_accounting_single_modify(self, relation):
+        """1 index read + 1 tuple read + 1 tuple write = 3 (paper's N3)."""
+        relation.apply_delta(Delta.modification([((0, "g0", 0), (0, "g0", 5))]))
+        snap = relation.counter.snapshot()
+        assert (snap.index_reads, snap.index_writes) == (1, 0)
+        assert (snap.tuple_reads, snap.tuple_writes) == (1, 1)
+
+    def test_batch_modify_same_key_one_index_page(self, relation):
+        """10-tuple modify sharing one index key costs 21 (paper's N4)."""
+        counter = IOCounter()
+        rel = StoredRelation("U", Schema.of(("A", DataType.INT), ("G", DataType.STRING)), counter)
+        rel.load([(i, "g") for i in range(10)])
+        rel.create_index(["G"])
+        rel.apply_delta(Delta.modification([((i, "g"), (i + 100, "g")) for i in range(10)]))
+        snap = counter.snapshot()
+        assert snap.total == 21
+
+    def test_key_changing_modify_writes_index(self, relation):
+        relation.apply_delta(Delta.modification([((0, "g0", 0), (0, "g1", 0))]))
+        assert relation.counter.snapshot().index_writes > 0
+
+    def test_modify_absent_tuple_rejected(self, relation):
+        with pytest.raises(StorageError):
+            relation.apply_delta(Delta.modification([((99, "g0", 0), (99, "g0", 1))]))
+
+    def test_key_swap_batch_allowed(self):
+        rel = StoredRelation("S", SCHEMA)
+        rel.load([(1, "a", 0), (2, "b", 0)])
+        rel.apply_delta(
+            Delta.modification([((1, "a", 0), (2, "a", 0)), ((2, "b", 0), (1, "b", 0))])
+        )
+        assert rel.contents().count((2, "a", 0)) == 1
+
+    def test_modified_row_visible_in_index(self, relation):
+        relation.apply_delta(Delta.modification([((0, "g0", 0), (0, "g1", 0))]))
+        relation.counter.reset()
+        assert (0, "g1", 0) in relation.lookup(["G"], ("g1",))
+
+
+class TestInsertDelete:
+    def test_insert_charges_write_and_index(self, relation):
+        relation.apply_delta(Delta.insertion([(100, "g9", 1)]))
+        snap = relation.counter.snapshot()
+        assert snap.tuple_writes == 1
+        assert snap.index_reads == 1 and snap.index_writes == 1
+
+    def test_delete_roundtrip(self, relation):
+        relation.apply_delta(Delta.deletion([(0, "g0", 0)]))
+        assert relation.row_count == 8
+        assert (0, "g0", 0) not in relation.contents()
+
+    def test_delete_absent_rejected(self, relation):
+        with pytest.raises(StorageError):
+            relation.apply_delta(Delta.deletion([(42, "gX", 0)]))
+
+    def test_key_violation_on_insert(self, relation):
+        with pytest.raises(StorageError):
+            relation.apply_delta(Delta.insertion([(0, "gZ", 1)]))
+
+    def test_key_violation_on_load(self):
+        rel = StoredRelation("S", SCHEMA)
+        with pytest.raises(StorageError):
+            rel.load([(1, "a", 0), (1, "b", 0)])
+
+    def test_insert_after_delete_reuses_key(self, relation):
+        relation.apply_delta(Delta.deletion([(0, "g0", 0)]))
+        relation.apply_delta(Delta.insertion([(0, "new", 7)]))
+        assert (0, "new", 7) in relation.contents()
+
+
+class TestIndexManagement:
+    def test_create_index_idempotent(self, relation):
+        idx1 = relation.create_index(["G"])
+        idx2 = relation.create_index(["G"])
+        assert idx1 is idx2
+
+    def test_index_built_over_existing_data(self, relation):
+        relation.create_index(["V"])
+        relation.counter.reset()
+        assert relation.lookup(["V"], (10,)).total() == 1
+
+    def test_indexes_listing(self, relation):
+        assert ("G",) in relation.indexes

@@ -1,0 +1,166 @@
+"""Tests for transaction types and data generators."""
+
+import random
+
+import pytest
+
+from repro.algebra.evaluate import evaluate
+from repro.workload.generators import (
+    chain_view,
+    generate_chain_data,
+    generate_sales_data,
+    load_chain_database,
+    load_sales_database,
+    random_insert_delete,
+    random_modify,
+    sales_scans,
+)
+from repro.workload.paperdb import generate_adepts, generate_corporate_db
+from repro.workload.transactions import (
+    Transaction,
+    TransactionType,
+    UpdateSpec,
+    modify_txn,
+    paper_transactions,
+)
+
+
+class TestTransactionTypes:
+    def test_paper_transactions(self):
+        t_emp, t_dept = paper_transactions()
+        assert t_emp.updated_relations == {"Emp"}
+        assert t_emp.spec("Emp").modifies == 1
+        assert t_emp.spec("Emp").modified_columns == {"Salary"}
+        assert t_dept.spec("Dept").modified_columns == {"Budget"}
+
+    def test_weight_positive(self):
+        with pytest.raises(ValueError):
+            modify_txn("t", "R", {"a"}, weight=0)
+
+    def test_modify_requires_columns(self):
+        with pytest.raises(ValueError):
+            UpdateSpec(modifies=1)
+
+    def test_empty_txn_rejected(self):
+        with pytest.raises(ValueError):
+            TransactionType("t", {})
+
+    def test_empty_specs_dropped(self):
+        t = TransactionType("t", {"A": UpdateSpec(inserts=1), "B": UpdateSpec()})
+        assert t.updated_relations == {"A"}
+
+    def test_spec_default(self):
+        t = modify_txn("t", "R", {"a"})
+        assert t.spec("other").is_empty
+
+    def test_transaction_updated_relations(self):
+        from repro.ivm.delta import Delta
+
+        txn = Transaction("t", {"A": Delta.insertion([(1,)]), "B": Delta()})
+        assert txn.updated_relations == {"A"}
+
+
+class TestPaperGenerator:
+    def test_sizes(self):
+        data = generate_corporate_db(50, 4, seed=1)
+        assert len(data["Dept"]) == 50
+        assert len(data["Emp"]) == 200
+
+    def test_uniform_distribution(self):
+        data = generate_corporate_db(10, 3, seed=2)
+        from collections import Counter
+
+        by_dept = Counter(e[1] for e in data["Emp"])
+        assert set(by_dept.values()) == {3}
+
+    def test_deterministic(self):
+        assert generate_corporate_db(5, 2, seed=9) == generate_corporate_db(5, 2, seed=9)
+
+    def test_adepts_subset(self):
+        adepts = generate_adepts(100, 10, seed=1)
+        assert len(adepts) == 10
+        assert all(name.startswith("dept") for (name,) in adepts)
+
+
+class TestChainGenerator:
+    def test_chain_view_schema(self):
+        view = chain_view(3)
+        assert "K3" in view.schema and "K0" in view.schema
+
+    def test_chain_join_size(self):
+        db = load_chain_database(3, 50, seed=1)
+        result = evaluate(chain_view(3), db)
+        # Every R3 row joins exactly one R2 row which joins one R1 row.
+        assert result.total() == 50
+
+    def test_chain_aggregate(self):
+        db = load_chain_database(2, 10, seed=1)
+        result = evaluate(chain_view(2, aggregate=True), db)
+        assert result.total() == 10
+
+    def test_keys_declared(self):
+        data = generate_chain_data(2, 20, seed=0)
+        keys = [row[1] for row in data["R1"]]
+        assert len(set(keys)) == 20
+
+
+class TestSalesGenerator:
+    def test_load(self):
+        db = load_sales_database(seed=1, n_customers=10, n_items=5, n_orders=50)
+        assert db.relation("Orders").row_count == 50
+        customers, items, orders = sales_scans()
+        joined = evaluate(
+            __import__("repro.algebra", fromlist=["Join"]).Join(
+                __import__("repro.algebra", fromlist=["Join"]).Join(orders, items),
+                customers,
+            ),
+            db,
+        )
+        assert joined.total() == 50
+
+    def test_referential_integrity(self):
+        data = generate_sales_data(n_customers=10, n_items=5, n_orders=30, seed=2)
+        item_names = {i[0] for i in data["Items"]}
+        assert all(o[2] in item_names for o in data["Orders"])
+
+
+class TestInstanceGenerators:
+    def test_random_modify(self, small_paper_db):
+        rng = random.Random(0)
+        txn = random_modify(small_paper_db, ">Emp", "Emp", "Salary", rng)
+        ((old, new),) = txn.deltas["Emp"].modifies
+        assert old[0] == new[0] and old[2] != new[2]
+
+    def test_random_insert_delete(self, small_paper_db):
+        rng = random.Random(0)
+        txn = random_insert_delete(
+            small_paper_db,
+            "ins",
+            "Emp",
+            rng,
+            make_row=lambda r: (f"new{r.random()}", "dept00000", 10),
+            insert_probability=1.0,
+        )
+        assert txn.deltas["Emp"].inserts
+
+    def test_random_delete(self, small_paper_db):
+        rng = random.Random(0)
+        txn = random_insert_delete(
+            small_paper_db,
+            "del",
+            "Emp",
+            rng,
+            make_row=lambda r: ("x", "d", 1),
+            insert_probability=0.0,
+        )
+        assert txn.deltas["Emp"].deletes
+
+    def test_modify_empty_relation_rejected(self):
+        from repro.storage.database import Database
+        from repro.algebra.schema import Schema
+        from repro.algebra.types import DataType
+
+        db = Database()
+        db.create_relation("T", Schema.of(("a", DataType.INT)))
+        with pytest.raises(ValueError):
+            random_modify(db, "t", "T", "a", random.Random(0))
