@@ -8,7 +8,7 @@ number of view sets each one costed.
 """
 
 import pytest
-from conftest import emit, format_table
+from conftest import emit, format_table, timed
 
 from repro.core.heuristics import (
     approximate_view_set,
@@ -55,29 +55,45 @@ def chain_problem(k=4, rows=1000):
 def run_strategies(problem):
     dag, txns, cost_model, estimator = problem
     out = {}
-    exhaustive = optimal_view_set(
-        dag, txns, cost_model, estimator, max_candidates=14
+    exhaustive, seconds = timed(
+        optimal_view_set, dag, txns, cost_model, estimator, max_candidates=14
     )
-    out["exhaustive"] = (exhaustive.best.weighted_cost, len(exhaustive.evaluated))
-    shielded = optimal_view_set(
-        dag, txns, cost_model, estimator, shielding=True, max_candidates=14
+    out["exhaustive"] = (exhaustive.best.weighted_cost, len(exhaustive.evaluated), seconds)
+    plain, plain_s = timed(
+        optimal_view_set,
+        dag,
+        txns,
+        cost_model,
+        estimator,
+        max_candidates=14,
+        use_cache=False,
     )
-    out["shielded"] = (shielded.best.weighted_cost, len(shielded.evaluated))
-    tree = heuristic_single_tree(dag, txns, cost_model, estimator)
-    out["single-tree"] = (tree.best.weighted_cost, len(tree.evaluated))
-    single = heuristic_single_view_set(dag, txns, cost_model, estimator)
-    out["single-set"] = (single.weighted_cost, 2)
-    greedy = greedy_view_set(dag, txns, cost_model, estimator)
-    out["greedy"] = (greedy.best.weighted_cost, len(greedy.evaluated))
-    approx = approximate_view_set(dag, txns, cost_model, estimator, max_candidates=14)
+    out["exhaustive (no cache)"] = (plain.best.weighted_cost, len(plain.evaluated), plain_s)
+    shielded, seconds = timed(
+        optimal_view_set, dag, txns, cost_model, estimator,
+        shielding=True, max_candidates=14,
+    )
+    out["shielded"] = (shielded.best.weighted_cost, len(shielded.evaluated), seconds)
+    tree, seconds = timed(heuristic_single_tree, dag, txns, cost_model, estimator)
+    out["single-tree"] = (tree.best.weighted_cost, len(tree.evaluated), seconds)
+    single, seconds = timed(
+        heuristic_single_view_set, dag, txns, cost_model, estimator
+    )
+    out["single-set"] = (single.weighted_cost, 2, seconds)
+    greedy, seconds = timed(greedy_view_set, dag, txns, cost_model, estimator)
+    out["greedy"] = (greedy.best.weighted_cost, len(greedy.evaluated), seconds)
+    approx, seconds = timed(
+        approximate_view_set, dag, txns, cost_model, estimator, max_candidates=14
+    )
     exact = evaluate_view_set(
         dag.memo, approx.best_marking, txns, cost_model, estimator
     )
-    out["approx-costing"] = (exact.weighted_cost, 0)
-    nothing = evaluate_view_set(
-        dag.memo, frozenset({dag.root}), txns, cost_model, estimator
+    out["approx-costing"] = (exact.weighted_cost, 0, seconds)
+    nothing, seconds = timed(
+        evaluate_view_set,
+        dag.memo, frozenset({dag.root}), txns, cost_model, estimator,
     )
-    out["nothing"] = (nothing.weighted_cost, 1)
+    out["nothing"] = (nothing.weighted_cost, 1, seconds)
     return out
 
 
@@ -95,17 +111,21 @@ def test_heuristic_space(
         run_strategies, args=(problem,), rounds=1, iterations=1
     )
     rows = [
-        [name, f"{cost:.2f}", str(evaluated)]
-        for name, (cost, evaluated) in sorted(results.items(), key=lambda kv: kv[1][0])
+        [name, f"{cost:.2f}", str(evaluated), f"{seconds * 1000.0:.1f}"]
+        for name, (cost, evaluated, seconds) in sorted(
+            results.items(), key=lambda kv: kv[1][0]
+        )
     ]
     emit(format_table(
         f"E2 — heuristic space on {which} (weighted I/Os, sets costed)",
-        ["strategy", "cost", "view sets costed"],
+        ["strategy", "cost", "view sets costed", "wall ms"],
         rows,
     ))
     best = results["exhaustive"][0]
+    # Memoization changes the wall clock, never the answer.
+    assert results["exhaustive (no cache)"][0] == best
     # Quality ordering: exhaustive ≤ every heuristic ≤ nothing.
-    for name, (cost, _) in results.items():
+    for name, (cost, _, _) in results.items():
         assert cost >= best - 1e-9, name
         assert cost <= results["nothing"][0] + 1e-9, name
     # Shielded equals exhaustive with no more work.

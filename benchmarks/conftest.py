@@ -8,6 +8,7 @@ where the cost model is fully specified.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
 import pytest
@@ -34,6 +35,14 @@ def format_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
     lines = [title, fmt(headers), fmt(["-" * w for w in widths])]
     lines.extend(fmt(r) for r in rows)
     return "\n".join(lines)
+
+
+def timed(fn, *args, **kwargs):
+    """Run ``fn`` and return ``(result, wall_seconds)`` — for reporting
+    optimizer wall time alongside the reproduced tables."""
+    started = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - started
 
 
 _OUTPUT_DIR = Path(__file__).parent / "output"

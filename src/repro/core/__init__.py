@@ -9,6 +9,7 @@ from repro.core.heuristics import (
     heuristic_single_view_set,
     structural_marking,
 )
+from repro.core.memoize import OptimizerStats, SearchCache
 from repro.core.multiview import MultiViewProblem
 from repro.core.optimizer import (
     SearchSpaceError,
@@ -37,8 +38,10 @@ from repro.core.tracks import describe_track, enumerate_tracks
 __all__ = [
     "AdaptiveMaintainer",
     "MultiViewProblem",
+    "OptimizerStats",
     "Reoptimization",
     "OptimizationResult",
+    "SearchCache",
     "PlanFormatError",
     "SearchSpaceError",
     "TxnPlan",

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core.memoize import SearchCache
 from repro.core.optimizer import optimal_view_set
 from repro.core.heuristics import greedy_view_set
 from repro.cost.estimates import DagEstimator
@@ -80,6 +81,12 @@ class AdaptiveMaintainer:
         self._counts: dict[str, float] = {t.name: 0.0 for t in txns}
         self._seen = 0
         self.history: list[Reoptimization] = []
+        # One search cache for the maintainer's lifetime: every cached
+        # quantity (update costs, tracks, maintenance queries, query
+        # costs) depends on a transaction type's *updates*, never on its
+        # weight, so re-optimizing under reweighted copies of the same
+        # transaction types reuses all of it.
+        self._cache = SearchCache(dag.memo, cost_model, estimator)
         self.maintainer = self._build_maintainer(self.base_txns)
         self.maintainer.materialize()
 
@@ -99,9 +106,11 @@ class AdaptiveMaintainer:
     def _optimize(self, txns: Sequence[TransactionType]):
         if self.exhaustive:
             return optimal_view_set(
-                self.dag, txns, self.cost_model, self.estimator
+                self.dag, txns, self.cost_model, self.estimator, cache=self._cache
             )
-        return greedy_view_set(self.dag, txns, self.cost_model, self.estimator)
+        return greedy_view_set(
+            self.dag, txns, self.cost_model, self.estimator, cache=self._cache
+        )
 
     def _build_maintainer(self, txns: Sequence[TransactionType]) -> ViewMaintainer:
         result = self._optimize(txns)
@@ -142,7 +151,12 @@ class AdaptiveMaintainer:
         from repro.core.optimizer import evaluate_view_set
 
         current = evaluate_view_set(
-            self.dag.memo, old_marking, txns, self.cost_model, self.estimator
+            self.dag.memo,
+            old_marking,
+            txns,
+            self.cost_model,
+            self.estimator,
+            cache=self._cache,
         )
         migration = self._migration_cost(old_marking, new_marking)
         record = Reoptimization(
@@ -172,7 +186,12 @@ class AdaptiveMaintainer:
             self.maintainer.tracks = {
                 name: plan.track
                 for name, plan in evaluate_view_set(
-                    self.dag.memo, old_marking, txns, self.cost_model, self.estimator
+                    self.dag.memo,
+                    old_marking,
+                    txns,
+                    self.cost_model,
+                    self.estimator,
+                    cache=self._cache,
                 ).per_txn.items()
             }
         self.history.append(record)

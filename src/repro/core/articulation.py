@@ -10,21 +10,34 @@ local optimum below it is discarded without being costed.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.cost.estimates import DagEstimator
 from repro.cost.model import CostModel
+from repro.core.memoize import SearchCache
 from repro.dag.builder import ViewDag
 from repro.dag.memo import Memo
 from repro.workload.transactions import TransactionType
 
-# Vertices of the undirected view of the DAG: ('g', group_id) and ('o', op_id).
+# Vertices of the undirected view of the DAG: ('g', group_id) and ('o', op_id);
+# multi-root DAGs add one virtual vertex ('v', -1) joining the roots.
 _Vertex = tuple[str, int]
 
 
-def _undirected_adjacency(memo: Memo, root: int) -> dict[_Vertex, list[_Vertex]]:
+def _canonical_roots(memo: Memo, roots: int | Iterable[int]) -> frozenset[int]:
+    if isinstance(roots, int):
+        roots = (roots,)
+    return frozenset(memo.find(r) for r in roots)
+
+
+def _undirected_adjacency(
+    memo: Memo, roots: int | Iterable[int]
+) -> dict[_Vertex, list[_Vertex]]:
     adj: dict[_Vertex, list[_Vertex]] = {}
-    reachable = memo.descendants(memo.find(root))
+    roots = _canonical_roots(memo, roots)
+    reachable: set[int] = set()
+    for root in roots:
+        reachable |= memo.descendants(root)
 
     def add_edge(a: _Vertex, b: _Vertex) -> None:
         adj.setdefault(a, []).append(b)
@@ -37,12 +50,22 @@ def _undirected_adjacency(memo: Memo, root: int) -> dict[_Vertex, list[_Vertex]]
             add_edge(("g", gid), ("o", op.id))
             for cid in op.child_ids:
                 add_edge(("o", op.id), ("g", memo.find(cid)))
+    if len(roots) > 1:
+        # A virtual super-root ties the roots together: an articulation
+        # node of the augmented graph separates its sub-DAG from *every*
+        # root, which is what Theorem 4.1 needs in the Section 6
+        # multi-view setting (a node cut off from only one root is not a
+        # valid shield — another view may reach below it directly).
+        for root in roots:
+            add_edge(("v", -1), ("g", root))
     return adj
 
 
-def articulation_vertices(memo: Memo, root: int) -> set[_Vertex]:
+def articulation_vertices(
+    memo: Memo, roots: int | Iterable[int]
+) -> set[_Vertex]:
     """Standard iterative Tarjan/Hopcroft articulation-point computation."""
-    adj = _undirected_adjacency(memo, root)
+    adj = _undirected_adjacency(memo, roots)
     disc: dict[_Vertex, int] = {}
     low: dict[_Vertex, int] = {}
     parent: dict[_Vertex, _Vertex | None] = {}
@@ -82,16 +105,20 @@ def articulation_vertices(memo: Memo, root: int) -> set[_Vertex]:
     return points
 
 
-def articulation_groups(memo: Memo, root: int) -> frozenset[int]:
+def articulation_groups(memo: Memo, roots: int | Iterable[int]) -> frozenset[int]:
     """Equivalence nodes that are articulation points of D_V, excluding the
-    root and the leaves (paper: articulation *equivalence* nodes)."""
-    root = memo.find(root)
-    points = articulation_vertices(memo, root)
+    root(s) and the leaves (paper: articulation *equivalence* nodes).
+
+    ``roots`` may be a single root group id or, for the Section 6
+    multi-view DAGs, every view root; candidates are then articulation
+    points of the whole multi-rooted graph."""
+    roots = _canonical_roots(memo, roots)
+    points = articulation_vertices(memo, roots)
     result = set()
     for kind, ident in points:
         if kind != "g":
             continue
-        if ident == root or memo.group(ident).is_leaf:
+        if ident in roots or memo.group(ident).is_leaf:
             continue
         result.add(ident)
     return frozenset(result)
@@ -104,9 +131,14 @@ def local_optimum(
     cost_model: CostModel,
     estimator: DagEstimator,
     track_limit: int | None = None,
+    cache: "SearchCache | None" = None,
 ) -> frozenset[int]:
     """Opt(V1): the optimal view set for maintaining the sub-view at
-    ``node``, over the sub-DAG D_V1 (node always marked)."""
+    ``node``, over the sub-DAG D_V1 (node always marked).
+
+    Returns canonical group ids. ``cache`` shares the enclosing search's
+    memoization — the sub-search's update costs, tracks, and query costs
+    all live in the same (memo, estimator, cost model) space."""
     from repro.core.optimizer import optimal_view_set
     from repro.dag.builder import ViewDag as _ViewDag
 
@@ -127,5 +159,6 @@ def local_optimum(
         required=[node],
         shielding=False,
         track_limit=track_limit,
+        cache=cache,
     )
-    return result.best_marking
+    return frozenset(memo.find(g) for g in result.best_marking)

@@ -23,7 +23,12 @@ from typing import Iterator, Sequence
 from repro.algebra.operators import DuplicateElim, GroupAggregate, Join
 from repro.cost.estimates import DagEstimator
 from repro.cost.model import CostModel
-from repro.core.optimizer import evaluate_view_set, optimal_view_set
+from repro.core.memoize import SearchCache
+from repro.core.optimizer import (
+    _evaluation_key,
+    evaluate_view_set,
+    optimal_view_set,
+)
 from repro.core.plan import OptimizationResult, TxnPlan, ViewSetEvaluation
 from repro.dag.builder import ViewDag
 from repro.dag.memo import Memo
@@ -142,6 +147,7 @@ def heuristic_single_tree(
     estimator: DagEstimator,
     update_aware: bool = True,
     max_candidates: int = 16,
+    cache: SearchCache | None = None,
 ) -> OptimizationResult:
     """Section 5 heuristic 1: exhaustive search restricted to the
     equivalence nodes of a single expression tree."""
@@ -156,6 +162,7 @@ def heuristic_single_tree(
         estimator,
         candidates=candidates,
         max_candidates=max_candidates,
+        cache=cache,
     )
 
 
@@ -185,8 +192,13 @@ def heuristic_single_view_set(
     root = dag.root
     tree = select_tree(memo, root, txns, estimator, update_aware)
     marked = structural_marking(memo, tree, root)
-    candidate = evaluate_view_set(memo, marked, txns, cost_model, estimator)
-    nothing = evaluate_view_set(memo, frozenset({root}), txns, cost_model, estimator)
+    cache = SearchCache(memo, cost_model, estimator)
+    candidate = evaluate_view_set(
+        memo, marked, txns, cost_model, estimator, cache=cache
+    )
+    nothing = evaluate_view_set(
+        memo, frozenset({root}), txns, cost_model, estimator, cache=cache
+    )
     return candidate if candidate.weighted_cost < nothing.weighted_cost else nothing
 
 
@@ -210,7 +222,6 @@ def approximate_view_set(
     ignored, which is what makes this approximate.
     """
     from repro.core.optimizer import SearchSpaceError, _candidate_subsets
-    from repro.dag.queries import derive_queries
 
     memo = dag.memo
     roots = frozenset(memo.find(r) for r in dag.roots.values())
@@ -221,12 +232,11 @@ def approximate_view_set(
     if len(optional) > max_candidates:
         raise SearchSpaceError(f"{len(optional)} candidates; restrict the set")
 
-    # Precompute, per (group, txn): update cost; per (op, txn, self-
-    # maintained?): derived queries with fixed unmarked / marked costs.
-    update_costs: dict[tuple[int, str], float] = {}
-    for gid in candidates:
-        for txn in txns:
-            update_costs[(gid, txn.name)] = cost_model.update_cost(gid, txn)
+    # Fig. 4 step 1 via the shared cache (update costs + affected bitmap);
+    # per (op, txn, self-maintained?): derived queries with fixed
+    # unmarked / marked costs.
+    cache = SearchCache(memo, cost_model, estimator)
+    cache.precompute(candidates, txns)
 
     QueryCosts = list[tuple[int, float, float]]  # (target, unmarked, marked)
     site_queries: dict[tuple[int, str, bool], QueryCosts] = {}
@@ -236,13 +246,8 @@ def approximate_view_set(
                 if not estimator.op_affected(op, txn):
                     continue
                 for own_marked in (False, True):
-                    marking = (
-                        frozenset({memo.find(op.group_id)})
-                        if own_marked
-                        else frozenset()
-                    )
                     costs: QueryCosts = []
-                    for query in derive_queries(memo, op, txn, marking, estimator):
+                    for query in cache.queries(op, txn, own_marked):
                         target = memo.find(query.target)
                         unmarked = cost_model.query_cost(query, frozenset(), txn)
                         marked = cost_model.query_cost(
@@ -253,6 +258,7 @@ def approximate_view_set(
 
     evaluated: list[ViewSetEvaluation] = []
     best: ViewSetEvaluation | None = None
+    best_key: tuple | None = None
     considered = 0
     total_weight = sum(t.weight for t in txns)
     for marking in _candidate_subsets(candidates, roots):
@@ -260,13 +266,12 @@ def approximate_view_set(
         evaluation = ViewSetEvaluation(marking)
         weighted = 0.0
         for txn in txns:
-            targets = [g for g in marking if estimator.affected(g, txn)]
-            update = sum(update_costs.get((g, txn.name), 0.0) for g in targets)
+            targets = cache.affected_targets(marking, txn)
+            update = sum(cache.update_cost(g, txn) for g in targets)
             best_track_cost = float("inf")
             best_track = {}
-            from repro.core.tracks import enumerate_tracks
-
-            for track in enumerate_tracks(memo, targets, txn, estimator):
+            tracks, truncated = cache.tracks(frozenset(targets), txn)
+            for track in tracks:
                 cost = 0.0
                 for gid, op in track.items():
                     own_marked = gid in marking
@@ -279,20 +284,28 @@ def approximate_view_set(
                     best_track = track
             if not targets:
                 best_track_cost = 0.0
-            plan = TxnPlan(txn.name, best_track_cost, update, best_track)
+            plan = TxnPlan(
+                txn.name,
+                best_track_cost,
+                update,
+                dict(best_track),
+                tracks_truncated=truncated,
+            )
             evaluation.per_txn[txn.name] = plan
             weighted += plan.total * txn.weight
         evaluation.weighted_cost = weighted / total_weight if total_weight else 0.0
         evaluated.append(evaluation)
-        if best is None or evaluation.weighted_cost < best.weighted_cost:
-            best = evaluation
+        key = _evaluation_key(evaluation)
+        if best_key is None or key < best_key:
+            best, best_key = evaluation, key
     assert best is not None
     return OptimizationResult(
         best=best,
         evaluated=evaluated,
-        root=next(iter(roots)),
+        root=min(roots),
         candidates=tuple(candidates),
         view_sets_considered=considered,
+        stats=cache.stats,
     )
 
 
@@ -303,6 +316,7 @@ def greedy_view_set(
     estimator: DagEstimator,
     candidates: Sequence[int] | None = None,
     track_limit: int | None = None,
+    cache: SearchCache | None = None,
 ) -> OptimizationResult:
     """Section 5 heuristic 3: greedy hill-climbing with one cost per step.
 
@@ -313,9 +327,13 @@ def greedy_view_set(
     root = dag.root
     if candidates is None:
         candidates = dag.candidate_groups()
+    if cache is None:
+        cache = SearchCache(memo, cost_model, estimator)
+    cache.precompute([memo.find(c) for c in candidates], txns)
     remaining = {memo.find(c) for c in candidates} - {root}
     current = evaluate_view_set(
-        memo, frozenset({root}), txns, cost_model, estimator, track_limit
+        memo, frozenset({root}), txns, cost_model, estimator, track_limit,
+        cache=cache,
     )
     evaluated = [current]
     considered = 1
@@ -331,6 +349,7 @@ def greedy_view_set(
                 cost_model,
                 estimator,
                 track_limit,
+                cache=cache,
             )
             considered += 1
             evaluated.append(trial)
@@ -349,4 +368,5 @@ def greedy_view_set(
         root=root,
         candidates=tuple(sorted({memo.find(c) for c in candidates})),
         view_sets_considered=considered,
+        stats=cache.stats,
     )

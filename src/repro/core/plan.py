@@ -5,18 +5,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.core.memoize import OptimizerStats
 from repro.core.tracks import UpdateTrack
 from repro.dag.memo import Memo
 
 
 @dataclass
 class TxnPlan:
-    """The chosen maintenance plan for one transaction type."""
+    """The chosen maintenance plan for one transaction type.
+
+    ``tracks_truncated`` records that the track enumeration hit its limit
+    while costing this transaction — the chosen track is the best of the
+    tracks *seen*, not necessarily the best overall.
+    """
 
     txn_name: str
     query_cost: float
     update_cost: float
     track: UpdateTrack
+    tracks_truncated: bool = False
 
     @property
     def total(self) -> float:
@@ -30,6 +37,11 @@ class ViewSetEvaluation:
     marking: frozenset[int]
     per_txn: dict[str, TxnPlan] = field(default_factory=dict)
     weighted_cost: float = 0.0
+
+    @property
+    def tracks_truncated(self) -> bool:
+        """True when any transaction's track enumeration was cut short."""
+        return any(plan.tracks_truncated for plan in self.per_txn.values())
 
     def describe(self, memo: Memo, root: int | None = None) -> str:
         extra = sorted(
@@ -49,10 +61,17 @@ class OptimizationResult:
     candidates: tuple[int, ...]
     view_sets_considered: int = 0
     view_sets_pruned: int = 0
+    stats: OptimizerStats | None = None
 
     @property
     def best_marking(self) -> frozenset[int]:
         return self.best.marking
+
+    @property
+    def tracks_truncated(self) -> bool:
+        """True when any evaluated view set hit the track limit — the
+        reported optimum may then be an artifact of the truncation."""
+        return any(ev.tracks_truncated for ev in self.evaluated)
 
     def additional_views(self) -> frozenset[int]:
         """The marked nodes other than the root — the paper's V \\ {V}."""

@@ -83,6 +83,11 @@ def render_report(
             else ""
         )
     )
+    if result.tracks_truncated:
+        lines.append(
+            "WARNING: track enumeration hit track_limit; some update tracks "
+            "were never costed and the chosen plans may be suboptimal."
+        )
     lines.append(f"Chosen view set (weighted {result.best.weighted_cost:.2f} I/Os/txn):")
     for line in describe_marking(dag, result.best_marking):
         lines.append("  " + line)
@@ -125,4 +130,9 @@ def render_report(
     ranked = sorted(result.evaluated, key=lambda e: e.weighted_cost)[:top]
     for ev in ranked:
         lines.append("  " + ev.describe(memo, root=result.root))
+    if result.stats is not None:
+        lines.append("")
+        lines.append("Optimizer statistics:")
+        for line in result.stats.lines():
+            lines.append("  " + line)
     return "\n".join(lines)

@@ -26,7 +26,12 @@ from typing import Sequence
 from repro.cost.estimates import DagEstimator
 from repro.cost.model import CostModel
 from repro.cost.page_io import PageIOCostModel
-from repro.core.optimizer import evaluate_view_set, optimal_view_set
+from repro.core.memoize import SearchCache
+from repro.core.optimizer import (
+    _evaluation_key,
+    evaluate_view_set,
+    optimal_view_set,
+)
 from repro.core.plan import OptimizationResult, ViewSetEvaluation
 from repro.dag.builder import ViewDag
 from repro.workload.transactions import TransactionType
@@ -99,7 +104,7 @@ def optimal_view_set_within_budget(
     ]
     if not feasible:
         raise ValueError("no feasible view set within the budget")
-    best = min(feasible, key=lambda ev: ev.weighted_cost)
+    best = min(feasible, key=_evaluation_key)
     return OptimizationResult(
         best=best,
         evaluated=feasible,
@@ -107,6 +112,7 @@ def optimal_view_set_within_budget(
         candidates=result.candidates,
         view_sets_considered=result.view_sets_considered,
         view_sets_pruned=result.view_sets_considered - len(feasible),
+        stats=result.stats,
     )
 
 
@@ -125,9 +131,11 @@ def greedy_view_set_within_budget(
     roots = frozenset(memo.find(r) for r in dag.roots.values())
     if candidates is None:
         candidates = dag.candidate_groups()
+    cache = SearchCache(memo, cost_model, estimator)
+    cache.precompute([memo.find(c) for c in candidates], txns)
     remaining = {memo.find(c) for c in candidates} - roots
     current = evaluate_view_set(
-        memo, roots, txns, cost_model, estimator, track_limit
+        memo, roots, txns, cost_model, estimator, track_limit, cache=cache
     )
     evaluated = [current]
     spent = 0.0
@@ -147,6 +155,7 @@ def greedy_view_set_within_budget(
                 cost_model,
                 estimator,
                 track_limit,
+                cache=cache,
             )
             considered += 1
             evaluated.append(trial)
@@ -165,9 +174,10 @@ def greedy_view_set_within_budget(
     return OptimizationResult(
         best=current,
         evaluated=evaluated,
-        root=next(iter(roots)),
+        root=min(roots),
         candidates=tuple(sorted({memo.find(c) for c in candidates})),
         view_sets_considered=considered,
+        stats=cache.stats,
     )
 
 

@@ -88,6 +88,29 @@ def enumerate_tracks(
             return
 
 
+def collect_tracks(
+    memo: Memo,
+    targets: Iterable[int],
+    txn: TransactionType,
+    estimator: DagEstimator,
+    limit: int | None = None,
+) -> tuple[tuple[UpdateTrack, ...], bool]:
+    """Materialize :func:`enumerate_tracks`, detecting truncation.
+
+    Returns the tracks (at most ``limit``) plus a flag that is True when
+    the enumeration had more tracks than the limit allowed — callers must
+    surface that, since a truncated enumeration may hide the best track.
+    """
+    tracks: list[UpdateTrack] = []
+    truncated = False
+    for track in enumerate_tracks(memo, targets, txn, estimator, limit=None):
+        if limit is not None and len(tracks) >= limit:
+            truncated = True
+            break
+        tracks.append(track)
+    return tuple(tracks), truncated
+
+
 def track_ops(track: UpdateTrack) -> list[OperationNode]:
     """The operation nodes of a track in deterministic order."""
     return [track[gid] for gid in sorted(track)]

@@ -43,6 +43,13 @@ class CostConfig:
 class CostModel:
     """Interface the optimizer uses to price maintenance plans."""
 
+    #: Set True by models whose ``query_cost`` depends only on the marking
+    #: restricted to the query target's descendants. The optimizer's
+    #: memoization (:mod:`repro.core.memoize`) uses this to share per-query
+    #: costs across markings that agree below the target; models without
+    #: the property are still cached at the coarser layers only.
+    marking_locality = False
+
     def query_cost(
         self, query: MaintenanceQuery, marking: frozenset[int], txn: TransactionType
     ) -> float:

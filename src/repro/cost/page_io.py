@@ -41,7 +41,20 @@ INF = math.inf
 
 
 class PageIOCostModel(CostModel):
-    """Concrete page-I/O cost model over an expression DAG."""
+    """Concrete page-I/O cost model over an expression DAG.
+
+    Query costs have *marking locality*: the cost of probing a node can
+    only depend on the materialized nodes at or below it, because the
+    recursive re-expression of an unmaterialized lookup never leaves the
+    node's descendants. The internal caches therefore key on the marking
+    restricted to the target's descendant set, so markings that agree
+    below the target share one entry — the cache-key tightening that makes
+    the memoized exhaustive search effective.
+    """
+
+    #: Declares the descendant-restriction property above; the optimizer's
+    #: SearchCache only enables its per-query cost layer when this is set.
+    marking_locality = True
 
     def __init__(
         self,
@@ -55,6 +68,20 @@ class PageIOCostModel(CostModel):
         self._per_key_cache: dict[tuple, float] = {}
         self._scan_cache: dict[tuple, float] = {}
         self._index_cols: dict[int, frozenset[str]] = {}
+        self._descendants: dict[int, frozenset[int]] = {}
+
+    def _relevant_marking(
+        self, gid: int, marking: frozenset[int]
+    ) -> frozenset[int]:
+        """The marking restricted to ``gid``'s descendants — the only part
+        that can influence a lookup or scan rooted at ``gid``."""
+        if not marking:
+            return marking
+        descendants = self._descendants.get(gid)
+        if descendants is None:
+            descendants = frozenset(self._memo.descendants(gid))
+            self._descendants[gid] = descendants
+        return marking & descendants
 
     # -- query costs ----------------------------------------------------------------
 
@@ -82,7 +109,7 @@ class PageIOCostModel(CostModel):
     ) -> float:
         """Cost of fetching all rows matching one key value."""
         gid = self._memo.find(group_id)
-        cache_key = (gid, key_columns, marking)
+        cache_key = (gid, key_columns, self._relevant_marking(gid, marking))
         if cache_key in self._per_key_cache:
             return self._per_key_cache[cache_key]
         self._per_key_cache[cache_key] = INF  # cycle guard
@@ -172,7 +199,7 @@ class PageIOCostModel(CostModel):
     def scan_cost(self, group_id: int, marking: frozenset[int]) -> float:
         """Cost of materializing the node's full contents."""
         gid = self._memo.find(group_id)
-        cache_key = (gid, marking)
+        cache_key = (gid, self._relevant_marking(gid, marking))
         if cache_key in self._scan_cache:
             return self._scan_cache[cache_key]
         self._scan_cache[cache_key] = INF  # cycle guard

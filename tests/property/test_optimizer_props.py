@@ -111,6 +111,30 @@ class TestShielding:
         assert shielded.best.weighted_cost == exhaustive.best.weighted_cost
 
 
+class TestMemoization:
+    @settings(max_examples=20, deadline=None)
+    @given(catalogs, weights)
+    def test_cached_equals_uncached(self, catalog, ws):
+        """The memoized search is an optimization, not an approximation:
+        on a fresh DAG/estimator/cost-model per variant, every evaluated
+        view set gets bit-identical costs with and without the cache."""
+        dag, estimator, cost_model, txns = _setup(catalog, *ws)
+        cached = optimal_view_set(dag, txns, cost_model, estimator)
+        dag2, estimator2, cost_model2, txns2 = _setup(catalog, *ws)
+        plain = optimal_view_set(
+            dag2, txns2, cost_model2, estimator2, use_cache=False
+        )
+        assert cached.best_marking == plain.best_marking
+        assert cached.best.weighted_cost == plain.best.weighted_cost
+        assert cached.stats is not None and cached.stats.cache_hits > 0
+        for a, b in zip(cached.evaluated, plain.evaluated):
+            assert a.marking == b.marking
+            assert a.weighted_cost == b.weighted_cost
+            for name in a.per_txn:
+                assert a.per_txn[name].query_cost == b.per_txn[name].query_cost
+                assert a.per_txn[name].update_cost == b.per_txn[name].update_cost
+
+
 class TestGreedy:
     @settings(max_examples=15, deadline=None)
     @given(catalogs, weights)

@@ -1,0 +1,247 @@
+"""Tests for the optimizer memoization layer (repro.core.memoize) and the
+search bugfixes that rode along with it: silent track truncation,
+deterministic tie-breaking, canonicalized shielding, and multi-root
+determinism.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.algebra.operators import AggSpec, GroupAggregate, Select
+from repro.algebra.predicates import Compare
+from repro.algebra.scalar import col, lit
+from repro.core.memoize import OptimizerStats, SearchCache
+from repro.core.multiview import MultiViewProblem
+from repro.core.optimizer import evaluate_view_set, optimal_view_set
+from repro.core.articulation import articulation_groups, local_optimum
+from repro.core.report import render_report
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig, CostModel
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import ViewDag, build_dag
+from repro.dag.memo import Memo
+from repro.dag.nodes import GroupLeaf
+from repro.storage.statistics import Catalog
+from repro.workload.paperdb import emp_scan, problem_dept_tree, sum_of_sals_tree
+from repro.workload.transactions import modify_txn, paper_transactions
+
+
+def _fresh_paper_setup():
+    dag = build_dag(problem_dept_tree())
+    estimator = DagEstimator(dag.memo, Catalog.paper_catalog())
+    cost_model = PageIOCostModel(
+        dag.memo,
+        estimator,
+        CostConfig(charge_root_update=False, root_group=dag.root),
+    )
+    return dag, estimator, cost_model, paper_transactions()
+
+
+class CountingCostModel(PageIOCostModel):
+    """Counts update_cost invocations per (canonical node, txn name)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.update_calls: Counter = Counter()
+
+    def update_cost(self, group_id, txn):
+        self.update_calls[(self._memo.find(group_id), txn.name)] += 1
+        return super().update_cost(group_id, txn)
+
+
+class ZeroCostModel(CostModel):
+    """Everything is free: every view set ties, exposing tie-breaking."""
+
+    def query_cost(self, query, marking, txn):
+        return 0.0
+
+    def update_cost(self, group_id, txn):
+        return 0.0
+
+
+class TestFig4Step1:
+    def test_update_costs_computed_once_per_node_and_txn(self):
+        """The paper's step 1: M[N, j] is a precomputation, not a per-view-
+        set recomputation — each (node, txn) pair hits the model once."""
+        dag, estimator, _, txns = _fresh_paper_setup()
+        cost_model = CountingCostModel(
+            dag.memo,
+            estimator,
+            CostConfig(charge_root_update=False, root_group=dag.root),
+        )
+        result = optimal_view_set(dag, txns, cost_model, estimator)
+        assert result.view_sets_considered == 16
+        candidates = {dag.memo.find(c) for c in dag.candidate_groups()}
+        expected = {(c, t.name) for c in candidates for t in txns}
+        assert set(cost_model.update_calls) == expected
+        assert all(n == 1 for n in cost_model.update_calls.values())
+
+    def test_stats_attached_and_nonzero_hits(self):
+        dag, estimator, cost_model, txns = _fresh_paper_setup()
+        result = optimal_view_set(dag, txns, cost_model, estimator)
+        stats = result.stats
+        assert isinstance(stats, OptimizerStats)
+        assert stats.view_sets_costed == 16
+        assert stats.update_costs_computed == len(
+            {dag.memo.find(c) for c in dag.candidate_groups()}
+        ) * len(txns)
+        assert stats.cache_hits > 0
+        assert "search" in stats.phase_seconds
+        assert any("track cache" in line for line in stats.lines())
+
+    def test_memoized_matches_uncached(self):
+        """The memoized search returns exactly the seed's answers — same
+        markings, bit-identical costs — on the paper's running example."""
+        dag, estimator, cost_model, txns = _fresh_paper_setup()
+        cached = optimal_view_set(dag, txns, cost_model, estimator)
+        dag2, estimator2, cost_model2, txns2 = _fresh_paper_setup()
+        plain = optimal_view_set(
+            dag2, txns2, cost_model2, estimator2, use_cache=False
+        )
+        assert plain.stats is None
+        assert cached.best_marking == plain.best_marking
+        assert cached.best.weighted_cost == plain.best.weighted_cost == 3.5
+        assert len(cached.evaluated) == len(plain.evaluated)
+        for a, b in zip(cached.evaluated, plain.evaluated):
+            assert a.marking == b.marking
+            assert a.weighted_cost == b.weighted_cost
+            for name in a.per_txn:
+                assert a.per_txn[name].query_cost == b.per_txn[name].query_cost
+                assert a.per_txn[name].update_cost == b.per_txn[name].update_cost
+
+    def test_cache_shared_across_searches(self):
+        """A second search over the same cache re-costs nothing at the
+        M[N, j] layer and hits the track cache throughout."""
+        dag, estimator, cost_model, txns = _fresh_paper_setup()
+        cache = SearchCache(dag.memo, cost_model, estimator)
+        optimal_view_set(dag, txns, cost_model, estimator, cache=cache)
+        computed = cache.stats.update_costs_computed
+        misses = cache.stats.track_misses
+        optimal_view_set(dag, txns, cost_model, estimator, cache=cache)
+        assert cache.stats.update_costs_computed == computed
+        assert cache.stats.track_misses == misses
+
+
+class TestTruncation:
+    def test_track_limit_sets_flag(self):
+        dag, estimator, cost_model, txns = _fresh_paper_setup()
+        limited = optimal_view_set(
+            dag, txns, cost_model, estimator, track_limit=1
+        )
+        assert limited.tracks_truncated
+        assert any(
+            plan.tracks_truncated
+            for ev in limited.evaluated
+            for plan in ev.per_txn.values()
+        )
+
+    def test_no_limit_no_flag(self):
+        dag, estimator, cost_model, txns = _fresh_paper_setup()
+        full = optimal_view_set(dag, txns, cost_model, estimator)
+        assert not full.tracks_truncated
+
+    def test_report_warns_on_truncation(self):
+        dag, estimator, cost_model, txns = _fresh_paper_setup()
+        limited = optimal_view_set(
+            dag, txns, cost_model, estimator, track_limit=1
+        )
+        report = render_report(dag, limited, txns, cost_model, estimator)
+        assert "WARNING" in report
+        assert "track_limit" in report
+        assert "Optimizer statistics:" in report
+
+
+class TestTieBreaking:
+    def test_all_ties_prefer_smallest_marking(self):
+        """With a free cost model every view set costs 0.0; the optimizer
+        must deterministically return the required-only marking rather than
+        whichever subset enumeration order happens to visit first."""
+        dag, estimator, _, txns = _fresh_paper_setup()
+        cost_model = ZeroCostModel()
+        result = optimal_view_set(dag, txns, cost_model, estimator)
+        assert result.best_marking == frozenset({dag.root})
+        again = optimal_view_set(dag, txns, cost_model, estimator)
+        assert again.best_marking == result.best_marking
+
+    def test_repeated_runs_identical(self):
+        dag, estimator, cost_model, txns = _fresh_paper_setup()
+        first = optimal_view_set(dag, txns, cost_model, estimator)
+        second = optimal_view_set(dag, txns, cost_model, estimator)
+        assert first.best_marking == second.best_marking
+        assert first.best.weighted_cost == second.best.weighted_cost
+
+
+def _merged_select_dag():
+    """A DAG whose memo has a non-trivial union-find: two select groups
+    asserted equivalent (as a rewrite rule would), below an aggregate root.
+    The merged select group is an articulation node of the result."""
+    memo = Memo()
+    s1 = Select(emp_scan(), Compare(">", col("Salary"), lit(10)))
+    s2 = Select(emp_scan(), Compare(">", col("Salary"), lit(20)))
+    g1 = memo.insert_tree(s1)
+    g2 = memo.insert_tree(s2)
+    root = memo.insert_tree(
+        GroupAggregate(s1, ("DName",), (AggSpec("sum", col("Salary"), "SalSum"),))
+    )
+    memo.insert_into(GroupLeaf(g2, memo.group(g2).schema), g1)
+    assert memo.find(g1) == memo.find(g2)
+    return ViewDag(memo, {"V": root}), memo.find(g1)
+
+
+class TestShieldingCanonicalization:
+    def test_merged_groups_shield_matches_exhaustive(self):
+        """Regression: shielding used to compare raw (pre-merge) group ids
+        against the canonical ids of the local optimum, so on a DAG with
+        merged groups the filter could prune the true optimum."""
+        dag, select_gid = _merged_select_dag()
+        memo = dag.memo
+        assert any(memo.find(g) != g for g in range(4))  # merge happened
+        estimator = DagEstimator(memo, Catalog.paper_catalog())
+        cost_model = PageIOCostModel(
+            memo,
+            estimator,
+            CostConfig(charge_root_update=False, root_group=dag.root),
+        )
+        txns = (modify_txn(">Emp", "Emp", {"Salary"}),)
+        assert select_gid in articulation_groups(memo, dag.root)
+        exhaustive = optimal_view_set(dag, txns, cost_model, estimator)
+        shielded = optimal_view_set(
+            dag, txns, cost_model, estimator, shielding=True
+        )
+        assert shielded.best_marking == exhaustive.best_marking
+        assert shielded.best.weighted_cost == exhaustive.best.weighted_cost
+
+    def test_local_optimum_returns_canonical_ids(self):
+        dag, select_gid = _merged_select_dag()
+        memo = dag.memo
+        estimator = DagEstimator(memo, Catalog.paper_catalog())
+        cost_model = PageIOCostModel(
+            memo,
+            estimator,
+            CostConfig(charge_root_update=False, root_group=dag.root),
+        )
+        txns = (modify_txn(">Emp", "Emp", {"Salary"}),)
+        opt = local_optimum(dag, select_gid, txns, cost_model, estimator)
+        assert all(memo.find(g) == g for g in opt)
+
+
+class TestMultiRoot:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return MultiViewProblem(
+            {"ProblemDept": problem_dept_tree(), "SumOfSals": sum_of_sals_tree()},
+            Catalog.paper_catalog(),
+            paper_transactions(),
+        )
+
+    def test_root_is_canonical_minimum(self, problem):
+        result = problem.optimize()
+        roots = {problem.dag.memo.find(r) for r in problem.dag.roots.values()}
+        assert result.root == min(roots)
+
+    def test_multi_root_shielding_preserves_optimum(self, problem):
+        exhaustive = problem.optimize()
+        shielded = problem.optimize(shielding=True)
+        assert shielded.best_marking == exhaustive.best_marking
+        assert shielded.best.weighted_cost == exhaustive.best.weighted_cost
