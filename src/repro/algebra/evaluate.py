@@ -4,6 +4,21 @@ This interpreter defines the *meaning* of the algebra. The IVM runtime
 (:mod:`repro.ivm`) must agree with it: for any update stream, incrementally
 maintained state equals re-evaluation from scratch. Property tests enforce
 exactly that.
+
+Two execution backends share these semantics:
+
+* ``interpreted`` — the reference implementation in this module: an
+  expression-tree walk with a ``dict(zip(names, row))`` per row;
+* ``compiled`` (the default) — :mod:`repro.algebra.compile` turns each
+  expression shape into specialized closures reading tuple positions
+  directly, with fused Select→Project→Join pipelines, cached per session.
+
+``evaluate(..., backend=...)`` selects per call;
+:func:`repro.algebra.compile.set_default_backend` (or the
+``REPRO_EXEC_BACKEND`` environment variable) selects session-wide. The two
+backends produce bit-identical multisets and identical I/O charges — a
+hypothesis property (``tests/property/test_compile_equivalence.py``)
+enforces it.
 """
 
 from __future__ import annotations
@@ -44,11 +59,29 @@ class MappingSource:
             raise KeyError(f"unknown base relation {name!r}") from None
 
 
-def evaluate(expr: RelExpr, source: RelationSource | Mapping[str, Multiset]) -> Multiset:
-    """Evaluate ``expr`` against base-relation contents, returning a multiset."""
+def evaluate(
+    expr: RelExpr,
+    source: RelationSource | Mapping[str, Multiset],
+    backend: str | None = None,
+) -> Multiset:
+    """Evaluate ``expr`` against base-relation contents, returning a multiset.
+
+    ``backend`` is ``"compiled"`` or ``"interpreted"``; ``None`` uses the
+    session default (:func:`repro.algebra.compile.default_backend`).
+    """
+    from repro.algebra import compile as _compile
+
     if isinstance(source, Mapping):
         source = MappingSource(source)
-    return _eval(expr, source)
+    if backend is None:
+        backend = _compile.default_backend()
+    if backend == "interpreted":
+        return _eval(expr, source)
+    if backend == "compiled":
+        return _compile.compiled_evaluate(expr, source)
+    raise ValueError(
+        f"unknown execution backend {backend!r}; expected one of {_compile.BACKENDS}"
+    )
 
 
 def _eval(expr: RelExpr, source: RelationSource) -> Multiset:
@@ -75,6 +108,10 @@ def _eval(expr: RelExpr, source: RelationSource) -> Multiset:
 
 
 def eval_select(expr: Select, input_: Multiset) -> Multiset:
+    if not expr.predicate.conjuncts():
+        # Trivially-true predicate (same guard eval_join applies to empty
+        # residuals): skip the per-row dict entirely.
+        return input_.copy()
     names = expr.input.schema.names
     out = Multiset()
     for row, count in input_.items():

@@ -10,6 +10,7 @@ evaluator (:mod:`repro.algebra.evaluate`) and the IVM runtime
 
 from __future__ import annotations
 
+from itertools import repeat
 from typing import Any, Dict, Iterable, Iterator, Mapping, Tuple
 
 Row = Tuple[Any, ...]
@@ -48,8 +49,14 @@ class Multiset:
 
     def update(self, other: "Multiset", scale: int = 1) -> None:
         """Merge ``other`` into this multiset, scaling counts by ``scale``."""
-        for row, count in other.items():
-            self.add(row, count * scale)
+        counts = self._counts
+        get = counts.get
+        for row, count in other._counts.items():
+            new = get(row, 0) + count * scale
+            if new == 0:
+                counts.pop(row, None)
+            else:
+                counts[row] = new
 
     # -- queries -----------------------------------------------------------------
 
@@ -68,8 +75,7 @@ class Multiset:
         for row, count in self._counts.items():
             if count < 0:
                 raise ValueError(f"cannot expand multiset with negative count for {row}")
-            for _ in range(count):
-                yield row
+            yield from repeat(row, count)
 
     @property
     def distinct_size(self) -> int:
@@ -140,17 +146,13 @@ class Multiset:
 
     def positive_part(self) -> "Multiset":
         out = Multiset()
-        for row, count in self._counts.items():
-            if count > 0:
-                out.add(row, count)
+        out._counts = {row: count for row, count in self._counts.items() if count > 0}
         return out
 
     def negative_part(self) -> "Multiset":
         """The deletions of a delta, returned with positive counts."""
         out = Multiset()
-        for row, count in self._counts.items():
-            if count < 0:
-                out.add(row, -count)
+        out._counts = {row: -count for row, count in self._counts.items() if count < 0}
         return out
 
     @staticmethod

@@ -52,6 +52,10 @@ class Schema:
             missing = set(key) - set(names)
             if missing:
                 raise SchemaError(f"key {sorted(key)} references unknown columns {sorted(missing)}")
+        # Exact representation types, used by the validate_tuple fast path.
+        object.__setattr__(
+            self, "_pytypes", tuple(c.dtype.python_type for c in self.columns)
+        )
 
     # -- construction helpers ------------------------------------------------
 
@@ -141,7 +145,16 @@ class Schema:
     # -- tuples ------------------------------------------------------------------
 
     def validate_tuple(self, values: Sequence[Any]) -> tuple[Any, ...]:
-        """Type-check a tuple against the schema, returning a normalized tuple."""
+        """Type-check a tuple against the schema, returning a normalized tuple.
+
+        Fast path: values whose representation types already match exactly
+        (the overwhelmingly common case on maintenance hot paths) skip the
+        per-value coercion machinery; anything else — wrong arity, a bool
+        where an int is declared, an int needing FLOAT widening — falls
+        through to the full check with its original error behavior.
+        """
+        if tuple(map(type, values)) == self._pytypes:  # type: ignore[attr-defined]
+            return tuple(values)
         if len(values) != len(self.columns):
             raise TypeError_(
                 f"tuple arity {len(values)} does not match schema arity {len(self.columns)}"

@@ -27,6 +27,15 @@ class DataType(enum.Enum):
     def is_numeric(self) -> bool:
         return self in (DataType.INT, DataType.FLOAT)
 
+    @property
+    def python_type(self) -> type:
+        """The exact Python representation type for values of this type.
+
+        Exact means ``type(v) is dtype.python_type`` — a ``bool`` is *not* a
+        valid INT value even though ``bool`` subclasses ``int``.
+        """
+        return _PYTHON_TYPES[self]
+
 
 _PYTHON_TYPES = {
     DataType.INT: int,

@@ -11,8 +11,9 @@ the key is unchanged) differs from a delete plus an insert.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Any, Iterable
 
+from repro.algebra.compile import tuple_getter
 from repro.algebra.multiset import Multiset, Row
 
 
@@ -52,9 +53,19 @@ class Delta:
     def net(self) -> Multiset:
         """The signed multiset this delta denotes."""
         out = self.inserts - self.deletes
+        counts = out._counts
+        get = counts.get
         for old, new in self.modifies:
-            out.add(old, -1)
-            out.add(new, 1)
+            n = get(old, 0) - 1
+            if n == 0:
+                counts.pop(old, None)
+            else:
+                counts[old] = n
+            n = get(new, 0) + 1
+            if n == 0:
+                counts.pop(new, None)
+            else:
+                counts[new] = n
         return out
 
     def all_inserted(self) -> Multiset:
@@ -87,20 +98,32 @@ class Delta:
         them back up lets the storage layer charge read-modify-write costs,
         as the paper does at nodes N3/N4.
         """
-        key_positions = tuple(key_positions)
-
-        def key_of(row: Row) -> tuple:
-            return tuple(row[i] for i in key_positions)
-
-        by_key_del: dict[tuple, list[Row]] = {}
+        if not self.inserts or not self.deletes:
+            return self  # nothing to pair up
+        positions = tuple(key_positions)
+        if len(positions) == 1:
+            # The grouping key is internal to this method, so single-column
+            # keys can stay scalar (no per-row tuple).
+            i = positions[0]
+            key_of = lambda row: row[i]  # noqa: E731
+        else:
+            key_of = tuple_getter(positions)
+        by_key_del: dict[Any, list[Row]] = {}
         for row, count in self.deletes.items():
-            by_key_del.setdefault(key_of(row), []).extend([row] * count)
+            key = key_of(row)
+            olds = by_key_del.get(key)
+            if olds is None:
+                olds = by_key_del[key] = []
+            if count == 1:
+                olds.append(row)
+            else:
+                olds.extend([row] * count)
         inserts = Multiset()
         modifies = list(self.modifies)
         for row, count in self.inserts.items():
             key = key_of(row)
+            olds = by_key_del.get(key)
             for _ in range(count):
-                olds = by_key_del.get(key)
                 if olds:
                     modifies.append((olds.pop(), row))
                 else:

@@ -24,14 +24,16 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping
 
-from repro.algebra.evaluate import (
-    eval_dedup,
-    eval_group_aggregate,
-    eval_join,
-    eval_project,
-    eval_select,
-    evaluate,
+from repro.algebra.compile import (
+    apply_dedup,
+    apply_group_aggregate,
+    apply_join,
+    apply_project,
+    apply_select,
+    scalar_fn,
+    tuple_getter,
 )
+from repro.algebra.evaluate import evaluate
 from repro.algebra.multiset import Multiset, Row
 from repro.algebra.operators import (
     Difference,
@@ -189,20 +191,45 @@ class ViewMaintainer:
             return self._filter_by_keys(rows, group.schema.names, columns, keys)
         return self._fetch_via_op(gid, best_op, columns, keys)
 
+    def _bucket_fetch(self, gid: int, columns: frozenset[str]):
+        """A bucket-grained fetch callable for group ``gid`` on ``columns``,
+        or ``None`` when the group cannot answer key lookups directly from
+        one hash index (see :meth:`HashIndex.probe_buckets`). Only direct
+        storage — a base relation or a materialized view — qualifies; key
+        reduction or operator decomposition falls back to plain fetches.
+        """
+        gid = self.memo.find(gid)
+        if not columns or self.estimator.info(gid).reduce(columns) != columns:
+            return None
+        group = self.memo.group(gid)
+        if group.is_leaf:
+            relation = self.db.relation(group.base_relation)
+        elif gid in self.marking:
+            relation = self._views[gid]
+        else:
+            return None
+        cols = tuple(sorted(relation.schema.resolve(c) for c in columns))
+        index = relation.index_on(cols)
+        if index is None:
+            index = relation.create_index(cols)
+        return index.probe_buckets
+
     def _indexed_fetch(
         self, relation: StoredRelation, columns: Iterable[str], keys: set[tuple]
     ) -> Multiset:
-        """Charged index probes; keys are tuples over sorted(columns)."""
+        """Charged index probes; keys are tuples over sorted(columns).
+
+        Uses the batched ``probe_many`` — one output multiset, no per-key
+        copy — with I/O charges identical to per-key ``lookup`` calls.
+        """
         cols = tuple(sorted(relation.schema.resolve(c) for c in columns))
-        if relation.index_on(cols) is None:
+        index = relation.index_on(cols)
+        if index is None:
             # The paper assumes hash indices exist wherever lookups happen;
             # building one here is the executable analogue (construction is
             # uncharged, probes are charged normally).
-            relation.create_index(cols)
-        out = Multiset()
-        for key in keys:
-            out.update(relation.lookup(cols, key))
-        return out
+            index = relation.create_index(cols)
+        return index.probe_many(keys)
 
     def _scan_group(self, gid: int) -> Multiset:
         """Full contents of a group, charged as scans of the leaves it
@@ -238,7 +265,7 @@ class ViewMaintainer:
         keys: set[tuple],
     ) -> Multiset:
         if isinstance(template, Select):
-            return eval_select(template, self.fetch(children[0], columns, keys))
+            return apply_select(template, self.fetch(children[0], columns, keys))
         if isinstance(template, Project):
             mapping = {
                 out: expr.name for out, expr in template.outputs if isinstance(expr, Col)
@@ -253,7 +280,7 @@ class ViewMaintainer:
             reorder = [mapped.index(c) for c in mapped_sorted]
             child_keys = {tuple(key[i] for i in reorder) for key in keys}
             rows = self.fetch(children[0], frozenset(mapped), child_keys)
-            projected = eval_project(template, rows)
+            projected = apply_project(template, rows)
             return self._filter_by_keys(projected, template.schema.names, columns, keys)
         if isinstance(template, Join):
             return self._fetch_join(template, children, columns, keys)
@@ -263,10 +290,10 @@ class ViewMaintainer:
                     f"fetch columns {sorted(columns)} exceed grouping columns"
                 )
             rows = self.fetch(children[0], columns, keys)
-            aggregated = eval_group_aggregate(template, rows)
+            aggregated = apply_group_aggregate(template, rows)
             return self._filter_by_keys(aggregated, template.schema.names, columns, keys)
         if isinstance(template, DuplicateElim):
-            return eval_dedup(self.fetch(children[0], columns, keys))
+            return apply_dedup(self.fetch(children[0], columns, keys))
         if isinstance(template, Union):
             out = self.fetch(children[0], columns, keys)
             out.update(self.fetch(children[1], columns, keys))
@@ -311,30 +338,40 @@ class ViewMaintainer:
         }
         side_rows = self.fetch(children[i], frozenset(start), start_keys)
         probe_cols = sorted(jc | set(rest))
-        jc_positions = {c: side_schema.index_of(c) for c in jc}
-        rest_values = {
-            tuple(key[ordered.index(c)] for c in rest) for key in keys
-        }
-        probe_keys: set[tuple] = set()
-        for row in side_rows.rows():
-            jc_vals = {c: row[p] for c, p in jc_positions.items()}
-            for rv in rest_values if rest else [()]:
-                values = {**jc_vals, **dict(zip(rest, rv))}
-                probe_keys.add(tuple(values[c] for c in probe_cols))
+        if not rest:
+            # Common case: the probe key is a pure projection of the fetched
+            # side's rows — one compiled getter, no per-row dict building.
+            getter = tuple_getter([side_schema.index_of(c) for c in probe_cols])
+            probe_keys = {getter(row) for row in side_rows.rows()}
+        else:
+            rest_values = {
+                tuple(key[ordered.index(c)] for c in rest) for key in keys
+            }
+            # Each probe column comes either from the fetched row (True, row
+            # position) or from the residual key values (False, rest index).
+            plan = [
+                (True, side_schema.index_of(c)) if c in jc else (False, rest.index(c))
+                for c in probe_cols
+            ]
+            probe_keys = {
+                tuple(row[p] if from_row else rv[p] for from_row, p in plan)
+                for row in side_rows.rows()
+                for rv in rest_values
+            }
         other_rows = self.fetch(children[1 - i], frozenset(probe_cols), probe_keys)
         left_rows = side_rows if i == 0 else other_rows
         right_rows = other_rows if i == 0 else side_rows
-        joined = eval_join(template, left_rows, right_rows)
+        joined = apply_join(template, left_rows, right_rows)
         return self._filter_by_keys(joined, template.schema.names, columns, keys)
 
     @staticmethod
     def _project_rows(
         rows: Multiset, from_names: tuple[str, ...], onto: tuple[str, ...]
     ) -> Multiset:
-        positions = [from_names.index(n) for n in onto]
+        project = tuple_getter([from_names.index(n) for n in onto])
         out = Multiset()
         for row, count in rows.items():
-            out.add(tuple(row[i] for i in positions), count)
+            out.add(project(row), count)
         return out
 
     @staticmethod
@@ -344,11 +381,10 @@ class ViewMaintainer:
         columns: frozenset[str],
         keys: set[tuple],
     ) -> Multiset:
-        ordered = sorted(columns)
-        positions = [names.index(c) for c in ordered]
+        key_of = tuple_getter([names.index(c) for c in sorted(columns)])
         out = Multiset()
         for row, count in rows.items():
-            if tuple(row[i] for i in positions) in keys:
+            if key_of(row) in keys:
                 out.add(row, count)
         return out
 
@@ -500,12 +536,13 @@ class ViewMaintainer:
             return self._propagate_dedup_project(template, children[0], child_deltas[0] or Delta())
         if isinstance(template, Join):
             jc = frozenset(template.join_columns)
+            fetch_left = lambda keys: self.fetch(children[0], jc, keys)  # noqa: E731
+            fetch_right = lambda keys: self.fetch(children[1], jc, keys)  # noqa: E731
+            buckets = self._bucket_fetch(children[1], jc)
+            if buckets is not None:
+                fetch_right.buckets = buckets
             return propagate_join(
-                template,
-                child_deltas[0],
-                child_deltas[1],
-                lambda keys: self.fetch(children[0], jc, keys),
-                lambda keys: self.fetch(children[1], jc, keys),
+                template, child_deltas[0], child_deltas[1], fetch_left, fetch_right
             )
         if isinstance(template, GroupAggregate):
             return self._propagate_aggregate(
@@ -559,7 +596,7 @@ class ViewMaintainer:
             child_rows = self.fetch(child, child_cols, translated)
         else:
             child_rows = self._scan_group(child)
-        old_counts = eval_project(plain, child_rows)
+        old_counts = apply_project(plain, child_rows)
         from repro.ivm.propagate import _dedup_from_counts
 
         result = _dedup_from_counts(old_counts, inner)
@@ -657,36 +694,38 @@ class ViewMaintainer:
         relation = self._views[gid]
         in_schema = template.input.schema
         names = in_schema.names
-        positions = [in_schema.index_of(g) for g in template.group_by]
+        group_of = tuple_getter([in_schema.index_of(g) for g in template.group_by])
         keys = affected_group_keys(template, delta)
         if not keys:
             return Delta()
+        arg_fns = [
+            scalar_fn(spec.arg, names) if spec.arg is not None else None
+            for spec in template.aggregates
+        ]
         contrib: dict[tuple, tuple[int, list[Any]]] = {}
         extremes: dict[tuple, list[Any]] = {}
         has_extreme = any(a.func in ("min", "max") for a in template.aggregates)
         for row, count in delta.net().items():
-            key = tuple(row[i] for i in positions)
+            key = group_of(row)
             entry = contrib.setdefault(key, (0, [0] * len(template.aggregates)))
-            mapping = dict(zip(names, row))
             sums = entry[1]
             for idx, spec in enumerate(template.aggregates):
                 if spec.arg is None:
                     continue
                 if spec.func in ("min", "max"):
                     continue
-                sums[idx] += spec.arg.eval(mapping) * count
+                sums[idx] += arg_fns[idx](row) * count
             contrib[key] = (entry[0] + count, sums)
         if has_extreme:
             # Growth-only (guaranteed by can_self_maintain): candidates come
             # from the inserted side.
             for row, count in delta.all_inserted().items():
-                key = tuple(row[i] for i in positions)
+                key = group_of(row)
                 cands = extremes.setdefault(key, [None] * len(template.aggregates))
-                mapping = dict(zip(names, row))
                 for idx, spec in enumerate(template.aggregates):
                     if spec.func not in ("min", "max"):
                         continue
-                    value = spec.arg.eval(mapping)
+                    value = arg_fns[idx](row)
                     current = cands[idx]
                     if current is None:
                         cands[idx] = value

@@ -17,11 +17,15 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable
 
-from repro.algebra.evaluate import (
-    compute_aggregate,
-    eval_join,
-    eval_project,
-    eval_select,
+from repro.algebra.compile import (
+    aggregate_fn,
+    apply_join,
+    apply_join_fetched,
+    apply_project,
+    apply_select,
+    row_mapper,
+    row_predicate,
+    tuple_getter,
 )
 from repro.algebra.multiset import Multiset, Row
 from repro.algebra.operators import (
@@ -101,14 +105,10 @@ def repair_modifications(schema: Schema, delta: Delta) -> Delta:
 
 def propagate_select(expr: Select, delta: Delta) -> Delta:
     """σ commutes with deltas: filter every component."""
-    names = expr.input.schema.names
-
-    def passes(row: Row) -> bool:
-        return expr.predicate.eval(dict(zip(names, row)))
-
+    passes = row_predicate(expr.predicate, expr.input.schema.names)
     out = Delta(
-        inserts=eval_select(expr, delta.inserts),
-        deletes=eval_select(expr, delta.deletes),
+        inserts=apply_select(expr, delta.inserts),
+        deletes=apply_select(expr, delta.deletes),
     )
     for old, new in delta.modifies:
         old_in, new_in = passes(old), passes(new)
@@ -128,18 +128,13 @@ def propagate_project(expr: Project, delta: Delta, old_input: Multiset | None = 
         if old_input is None:
             raise PropagationError("dedup projection requires the old input state")
         plain = Project(expr.input, expr.outputs, dedup=False)
-        old_out_counts = eval_project(plain, old_input)
+        old_out_counts = apply_project(plain, old_input)
         inner = propagate_project(plain, delta)
         return _dedup_from_counts(old_out_counts, inner)
-    names = expr.input.schema.names
-
-    def map_row(row: Row) -> Row:
-        mapping = dict(zip(names, row))
-        return tuple(scalar.eval(mapping) for _, scalar in expr.outputs)
-
+    map_row = row_mapper(expr.outputs, expr.input.schema.names)
     out = Delta(
-        inserts=eval_project(expr, delta.inserts),
-        deletes=eval_project(expr, delta.deletes),
+        inserts=apply_project(expr, delta.inserts),
+        deletes=apply_project(expr, delta.deletes),
     )
     for old, new in delta.modifies:
         old_p, new_p = map_row(old), map_row(new)
@@ -188,34 +183,73 @@ def propagate_join(
     A fetch is only invoked when the corresponding side has a delta, so an
     unaffected side never requires one.
     """
-    shared = expr.join_columns
-    left_schema, right_schema = expr.left.schema, expr.right.schema
-    left_pos = [left_schema.index_of(c) for c in shared]
-    right_pos = [right_schema.index_of(c) for c in shared]
-    out_net = Multiset()
-
     left_net = left_delta.net() if left_delta is not None else Multiset()
     right_net = right_delta.net() if right_delta is not None else Multiset()
+    out_net = propagate_join_net(expr, left_net, right_net, fetch_left, fetch_right)
+    return repair_modifications(expr.schema, Delta.from_net(out_net))
 
+
+def propagate_join_net(
+    expr: Join,
+    left_net: Multiset,
+    right_net: Multiset,
+    fetch_left: Fetch | None,
+    fetch_right: Fetch | None,
+) -> Multiset:
+    """Net-to-net core of :func:`propagate_join`.
+
+    Takes and returns signed multisets with no ``Delta`` boxing, so a chain
+    of joins (a left-deep spine) can thread one signed multiset through all
+    levels and pay the modification re-pairing cost once, at the node where
+    the delta is actually applied — pairing at intermediate nodes is
+    semantically invisible because the next level's ``net()`` flattens it
+    right back.
+    """
+    shared = expr.join_columns
+    left_schema, right_schema = expr.left.schema, expr.right.schema
+    left_idx = [left_schema.index_of(c) for c in shared]
+
+    def key_set(net: Multiset, idx: list[int]) -> set:
+        # Single-column keys: inline the subscript (no per-row call); the
+        # fetch still sees 1-tuples, matching the index key layout.
+        if len(idx) == 1:
+            i = idx[0]
+            return {(r[i],) for r in net.rows()}
+        getter = tuple_getter(idx)
+        return {getter(r) for r in net.rows()}
+
+    left_part: Multiset | None = None
     if left_net:
         if fetch_right is None:
             raise PropagationError("left delta requires a fetch on the right input")
-        keys = {tuple(r[i] for i in left_pos) for r in left_net.rows()}
-        right_old = fetch_right(keys)
-        out_net.update(eval_join(expr, left_net, right_old))
+        keys = key_set(left_net, left_idx)
+        # A fetch that can serve bucket-grained results (an indexed base
+        # relation or materialized view, hashed on exactly the join key)
+        # exposes ``.buckets``; the join then probes the index's own hash
+        # layout instead of re-building one. Same I/O charges either way.
+        bucket_fetch = getattr(fetch_right, "buckets", None)
+        if bucket_fetch is not None:
+            left_part = apply_join_fetched(expr, left_net, bucket_fetch(keys))
+        else:
+            right_old = fetch_right(keys)
+            left_part = apply_join(expr, left_net, right_old)
     if right_net:
         if fetch_left is None:
             raise PropagationError("right delta requires a fetch on the left input")
-        keys = {tuple(r[i] for i in right_pos) for r in right_net.rows()}
+        keys = key_set(right_net, [right_schema.index_of(c) for c in shared])
         left_old = fetch_left(keys)
         # L_new = L_old + ΔL restricted to the touched keys.
+        left_key = tuple_getter(left_idx)
         left_new = left_old.copy()
         for row, count in left_net.items():
-            if tuple(row[i] for i in left_pos) in keys:
+            if left_key(row) in keys:
                 left_new.add(row, count)
-        out_net.update(eval_join(expr, left_new, right_net))
-
-    return repair_modifications(expr.schema, Delta.from_net(out_net))
+        right_part = apply_join(expr, left_new, right_net)
+        if left_part is None:
+            return right_part
+        left_part.update(right_part)
+        return left_part
+    return left_part if left_part is not None else Multiset()
 
 
 # -- aggregation ------------------------------------------------------------------------
@@ -224,14 +258,14 @@ def propagate_join(
 def affected_group_keys(expr: GroupAggregate, delta: Delta) -> set[tuple[Any, ...]]:
     """The distinct group keys touched by an input delta."""
     in_schema = expr.input.schema
-    positions = [in_schema.index_of(g) for g in expr.group_by]
+    group_of = tuple_getter([in_schema.index_of(g) for g in expr.group_by])
     keys: set[tuple[Any, ...]] = set()
     for source in (delta.inserts.rows(), delta.deletes.rows()):
         for row in source:
-            keys.add(tuple(row[i] for i in positions))
+            keys.add(group_of(row))
     for old, new in delta.modifies:
-        keys.add(tuple(old[i] for i in positions))
-        keys.add(tuple(new[i] for i in positions))
+        keys.add(group_of(old))
+        keys.add(group_of(new))
     return keys
 
 
@@ -266,10 +300,8 @@ def _aggregate_delta_from_states(
 ) -> Delta:
     in_schema = expr.input.schema
     names = in_schema.names
-    positions = [in_schema.index_of(g) for g in expr.group_by]
-
-    def group_of(row: Row) -> tuple[Any, ...]:
-        return tuple(row[i] for i in positions)
+    group_of = tuple_getter([in_schema.index_of(g) for g in expr.group_by])
+    agg_fns = [aggregate_fn(spec, names) for spec in expr.aggregates]
 
     def partition(ms: Multiset) -> dict[tuple[Any, ...], list[tuple[Row, int]]]:
         groups: dict[tuple[Any, ...], list[tuple[Row, int]]] = {}
@@ -292,12 +324,10 @@ def _aggregate_delta_from_states(
         new_group = new_by_group.get(key)
         old_row = None
         if old_group:
-            aggs = tuple(compute_aggregate(s, old_group, names) for s in expr.aggregates)
-            old_row = key + aggs
+            old_row = key + tuple(fn(old_group) for fn in agg_fns)
         new_row = None
         if new_group:
-            aggs = tuple(compute_aggregate(s, new_group, names) for s in expr.aggregates)
-            new_row = key + aggs
+            new_row = key + tuple(fn(new_group) for fn in agg_fns)
         if old_row is not None and new_row is not None:
             if old_row != new_row:
                 out.modifies.append((old_row, new_row))

@@ -8,8 +8,9 @@ when the entry set for that key actually changes.
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
+from repro.algebra.compile import tuple_getter
 from repro.algebra.multiset import Multiset, Row
 from repro.algebra.schema import Schema
 from repro.storage.pager import IOCounter
@@ -22,10 +23,13 @@ class HashIndex:
         self.columns = tuple(schema.resolve(c) for c in columns)
         self._positions = tuple(schema.index_of(c) for c in self.columns)
         self._buckets: dict[tuple[Any, ...], Multiset] = {}
+        # Per-bucket tuple totals, so a probe can charge its matches without
+        # re-summing the bucket's counts.
+        self._totals: dict[tuple[Any, ...], int] = {}
         self._counter = counter
-
-    def key_of(self, row: Row) -> tuple[Any, ...]:
-        return tuple(row[i] for i in self._positions)
+        # key_of sits on every index-maintenance path; bind it to a compiled
+        # positional getter instead of a per-call generator expression.
+        self.key_of: Callable[[Row], tuple[Any, ...]] = tuple_getter(self._positions)
 
     # -- probes -------------------------------------------------------------------
 
@@ -35,8 +39,69 @@ class HashIndex:
         bucket = self._buckets.get(key)
         if bucket is None:
             return Multiset()
-        self._counter.charge_tuple_read(bucket.total())
+        self._counter.charge_tuple_read(self._totals[key])
         return bucket.copy()
+
+    def probe_many(self, keys: Iterable[tuple[Any, ...]]) -> Multiset:
+        """Look up a batch of keys, accumulating matches into one multiset.
+
+        Charges exactly what the equivalent :meth:`probe` loop would — one
+        index-page read per key, one tuple read per match — but skips the
+        per-key bucket copy and per-key result merge.
+        """
+        out = Multiset()
+        counts = out._counts
+        buckets = self._buckets
+        totals = self._totals
+        n_keys = 0
+        matches = 0
+        if isinstance(keys, (set, frozenset, dict)):
+            # Distinct keys have disjoint buckets, so each bucket's counts
+            # can be merged with a C-level dict update instead of row-wise.
+            n_keys = len(keys)
+            for key in keys:
+                bucket = buckets.get(key)
+                if bucket is None:
+                    continue
+                matches += totals[key]
+                counts.update(bucket._counts)
+        else:
+            for key in keys:
+                n_keys += 1
+                bucket = buckets.get(key)
+                if bucket is None:
+                    continue
+                matches += totals[key]
+                for row, count in bucket.items():
+                    counts[row] = counts.get(row, 0) + count
+        self._counter.charge_index_read(n_keys)
+        self._counter.charge_tuple_read(matches)
+        return out
+
+    def probe_buckets(self, keys: Iterable[tuple[Any, ...]]) -> dict[tuple[Any, ...], Multiset]:
+        """Bucket-grained batched lookup: same charges as :meth:`probe_many`
+        (one index-page read per key, one tuple read per match), but returns
+        the matching ``{key: bucket}`` mapping instead of flattening it, so a
+        probe-side join can consume the index's own hash layout without
+        rebuilding it. The buckets are **borrowed, read-only** views — they
+        must be consumed before any maintenance touches this index, and
+        never mutated.
+        """
+        out: dict[tuple[Any, ...], Multiset] = {}
+        buckets = self._buckets
+        totals = self._totals
+        n_keys = 0
+        matches = 0
+        for key in keys:
+            n_keys += 1
+            bucket = buckets.get(key)
+            if bucket is None:
+                continue
+            matches += totals[key]
+            out[key] = bucket
+        self._counter.charge_index_read(n_keys)
+        self._counter.charge_tuple_read(matches)
+        return out
 
     def probe_free(self, key: tuple[Any, ...]) -> Multiset:
         """Look up a key without charging I/O (used internally by storage
@@ -47,11 +112,24 @@ class HashIndex:
     # -- maintenance ----------------------------------------------------------------
 
     def add(self, row: Row, count: int = 1) -> None:
+        if count == 0:
+            return
         key = self.key_of(row)
-        bucket = self._buckets.setdefault(key, Multiset())
-        bucket.add(row, count)
-        if not bucket:
-            del self._buckets[key]
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = Multiset()
+            self._totals[key] = 0
+        counts = bucket._counts
+        new = counts.get(row, 0) + count
+        if new == 0:
+            del counts[row]
+            if not counts:
+                del self._buckets[key]
+                del self._totals[key]
+                return
+        else:
+            counts[row] = new
+        self._totals[key] += count
 
     def apply(self, delta: Multiset) -> tuple[int, int]:
         """Apply a signed delta; returns (index pages read, pages written).
@@ -76,5 +154,6 @@ class HashIndex:
 
     def rebuild(self, data: Multiset) -> None:
         self._buckets.clear()
+        self._totals.clear()
         for row, count in data.items():
             self.add(row, count)

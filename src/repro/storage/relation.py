@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
+from repro.algebra.compile import tuple_getter
 from repro.algebra.multiset import Multiset, Row
 from repro.algebra.schema import Schema
 from repro.ivm.delta import Delta
@@ -40,9 +41,13 @@ class StoredRelation:
         self.counter = counter if counter is not None else IOCounter()
         self._data = Multiset()
         self._indexes: dict[tuple[str, ...], HashIndex] = {}
-        # One incremental uniqueness map per declared candidate key.
+        # One incremental uniqueness map per declared candidate key, with a
+        # compiled positional getter per key (this runs once per applied row).
         self._key_positions = {
             key: tuple(schema.index_of(a) for a in sorted(key)) for key in schema.keys
+        }
+        self._key_getters = {
+            key: tuple_getter(positions) for key, positions in self._key_positions.items()
         }
         self._key_maps: dict[frozenset[str], dict[tuple, int]] = {
             key: {} for key in schema.keys
@@ -102,6 +107,28 @@ class StoredRelation:
             raise StorageError(f"no index on {cols} for relation {self.name}")
         return index.probe(key)
 
+    def lookup_many(
+        self, columns: Iterable[str], keys: Iterable[tuple[Any, ...]]
+    ) -> Multiset:
+        """Batched indexed lookup; charges identically to per-key ``lookup``."""
+        cols = tuple(self.schema.resolve(c) for c in columns)
+        index = self._indexes.get(cols)
+        if index is None:
+            raise StorageError(f"no index on {cols} for relation {self.name}")
+        return index.probe_many(keys)
+
+    def lookup_buckets(
+        self, columns: Iterable[str], keys: Iterable[tuple[Any, ...]]
+    ) -> dict[tuple[Any, ...], Multiset]:
+        """Bucket-grained batched lookup (see :meth:`HashIndex.probe_buckets`);
+        charges identically to :meth:`lookup_many`. The returned buckets are
+        borrowed read-only views of the index."""
+        cols = tuple(self.schema.resolve(c) for c in columns)
+        index = self._indexes.get(cols)
+        if index is None:
+            raise StorageError(f"no index on {cols} for relation {self.name}")
+        return index.probe_buckets(keys)
+
     @property
     def row_count(self) -> int:
         return self._data.total()
@@ -118,14 +145,11 @@ class StoredRelation:
         if not modifies:
             return
         for index in self._indexes.values():
-            keys_old = {index.key_of(old) for old, _ in modifies}
-            keys_new = {index.key_of(new) for _, new in modifies}
-            self.counter.charge_index_read(len(keys_old | keys_new))
+            key_of = index.key_of
+            pairs = [(key_of(old), key_of(new)) for old, new in modifies]
+            self.counter.charge_index_read(len({k for pair in pairs for k in pair}))
             changed_pages = {
-                key
-                for old, new in modifies
-                if index.key_of(old) != index.key_of(new)
-                for key in (index.key_of(old), index.key_of(new))
+                key for ko, kn in pairs if ko != kn for key in (ko, kn)
             }
             if changed_pages:
                 self.counter.charge_index_write(len(changed_pages))
@@ -160,8 +184,8 @@ class StoredRelation:
 
     def _apply_row(self, row: Row, count: int) -> None:
         """Apply one row-count change to data, indexes, and key maps."""
-        for key, positions in self._key_positions.items():
-            kv = tuple(row[i] for i in positions)
+        for key, getter in self._key_getters.items():
+            kv = getter(row)
             key_map = self._key_maps[key]
             new_count = key_map.get(kv, 0) + count
             if new_count > 1:
@@ -170,7 +194,12 @@ class StoredRelation:
                 key_map.pop(kv, None)
             else:
                 key_map[kv] = new_count
-        self._data.add(row, count)
+        counts = self._data._counts
+        new = counts.get(row, 0) + count
+        if new == 0:
+            counts.pop(row, None)
+        else:
+            counts[row] = new
         for index in self._indexes.values():
             index.add(row, count)
 
