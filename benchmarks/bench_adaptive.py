@@ -20,6 +20,7 @@ from conftest import emit, format_table
 
 from repro.core.adaptive import AdaptiveMaintainer
 from repro.core.optimizer import optimal_view_set
+from repro.engine import Engine
 from repro.cost.estimates import DagEstimator
 from repro.cost.model import CostConfig
 from repro.cost.page_io import PageIOCostModel
@@ -67,12 +68,13 @@ def run_static(weights):
         db, dag, result.best_marking, run_txns, tracks, estimator, cost_model
     )
     maintainer.materialize()
+    engine = Engine(maintainer)
     rng = random.Random(23)
-    db.counter.reset()
+    io = 0
     for i in range(N_TXNS):
-        maintainer.apply(_stream(db, rng, i))
+        io += engine.execute(_stream(db, rng, i)).io.total
     maintainer.verify()
-    return db.counter.total / N_TXNS
+    return io / N_TXNS
 
 
 def run_adaptive():

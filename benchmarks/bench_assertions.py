@@ -71,11 +71,11 @@ def run_both():
     from repro.core.optimizer import evaluate_view_set
     from repro.ivm.maintainer import ViewMaintainer
 
-    roots = frozenset(system.dag.memo.find(r) for r in system._roots.values())
+    roots = frozenset(system.dag.memo.find(r) for r in system.roots.values())
     ev = evaluate_view_set(
         system.dag.memo, roots, system.txns, system.cost_model, system.estimator
     )
-    system.maintainer = ViewMaintainer(
+    bare = ViewMaintainer(
         db,
         system.dag,
         roots,
@@ -85,7 +85,8 @@ def run_both():
         system.cost_model,
         charge_root_update=True,
     )
-    system.maintainer.materialize()
+    bare.materialize()
+    system.use_maintainer(bare)  # rebuilds the engines around the bare plan
     results["no auxiliary views"] = _run(system, db)
     return results
 

@@ -1,0 +1,206 @@
+"""Experiment E11 — engine commit overhead and rollback cost.
+
+The transactional engine wraps every ``ViewMaintainer.apply`` in scoped
+I/O attribution and an inverse-delta undo journal. Both are designed to be
+charge-neutral: the scope is pure measurement and undo recording reuses
+the inverse deltas the storage layer already computes. This benchmark
+pins that down on the k=5 chain-join workload (the paper's Section 3 SPJ
+example): page I/O per transaction through ``Engine.execute`` must be
+within 10% of a direct maintainer apply (in practice identical), and a
+logical rollback must restore the database bit-exactly while charging
+zero page I/Os.
+
+The full run writes ``benchmarks/BENCH_engine.json``;
+``REPRO_BENCH_SMOKE=1`` shrinks the data so CI can run the same
+assertions as a smoke test.
+"""
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from conftest import emit, format_table
+
+from repro.core.optimizer import evaluate_view_set
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import build_dag
+from repro.engine import Engine, UndoLog
+from repro.ivm.delta import Delta
+from repro.ivm.maintainer import ViewMaintainer
+from repro.storage.statistics import Catalog
+from repro.workload.generators import chain_view, load_chain_database
+from repro.workload.transactions import Transaction, TransactionType, UpdateSpec
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+K = 5
+ROWS = 200 if SMOKE else 1000  # rows per chain relation
+BATCH = 20 if SMOKE else 100  # modifications per transaction
+N_TXNS = 4 if SMOKE else 20
+
+IO_OVERHEAD_CEILING = 1.10
+
+_RESULTS_FILE = Path(__file__).parent / "BENCH_engine.json"
+
+
+def build_setup():
+    """Fresh chain database + maintainer with the root materialized, and a
+    deterministic pre-generated transaction stream."""
+    db = load_chain_database(K, ROWS, seed=11)
+    view = chain_view(K)
+    dag = build_dag(view)
+    estimator = DagEstimator(dag.memo, Catalog.from_database(db))
+    cost_model = PageIOCostModel(
+        dag.memo, estimator, CostConfig(charge_root_update=False, root_group=dag.root)
+    )
+    txn_types = (
+        TransactionType(
+            ">R1",
+            {"R1": UpdateSpec(modifies=BATCH, modified_columns=frozenset({"V1"}))},
+        ),
+    )
+    marking = frozenset({dag.root})
+    ev = evaluate_view_set(dag.memo, marking, txn_types, cost_model, estimator)
+    maintainer = ViewMaintainer(
+        db,
+        dag,
+        marking,
+        txn_types,
+        {name: plan.track for name, plan in ev.per_txn.items()},
+        estimator,
+        cost_model,
+    )
+    maintainer.materialize()
+
+    current = {row[1]: row for row in db.relation("R1").contents().rows()}
+    rng = random.Random(29)
+    txns = []
+    for _ in range(N_TXNS):
+        pairs = []
+        for key in rng.sample(sorted(current), BATCH):
+            old = current[key]
+            new = (old[0], old[1], old[2] + 1)
+            current[key] = new
+            pairs.append((old, new))
+        txns.append(Transaction(">R1", {"R1": Delta.modification(pairs)}))
+    return db, maintainer, txns
+
+
+def measure_direct():
+    db, maintainer, txns = build_setup()
+    db.counter.reset()
+    started = time.perf_counter()
+    for txn in txns:
+        maintainer.apply(txn)
+    elapsed = time.perf_counter() - started
+    io = db.counter.total
+    maintainer.verify()
+    return io, elapsed
+
+
+def measure_engine():
+    db, maintainer, txns = build_setup()
+    engine = Engine(maintainer)
+    io = 0
+    started = time.perf_counter()
+    for txn in txns:
+        io += engine.execute(txn).io.total
+    elapsed = time.perf_counter() - started
+    maintainer.verify()
+    return io, elapsed
+
+
+def measure_rollback():
+    """Apply-then-undo each transaction; the database must come back
+    bit-exactly and the rollback itself must charge nothing."""
+    db, maintainer, _ = build_setup()
+    engine = Engine(maintainer)
+    base = db.relation("R1").contents()
+    # Each transaction is undone before the next applies, so all of them
+    # modify the same base state (unlike the evolving commit stream).
+    rows = sorted(base.rows())
+    rng = random.Random(31)
+    txns = [
+        Transaction(
+            ">R1",
+            {
+                "R1": Delta.modification(
+                    [
+                        (old, (old[0], old[1], old[2] + 1))
+                        for old in rng.sample(rows, BATCH)
+                    ]
+                )
+            },
+        )
+        for _ in range(N_TXNS)
+    ]
+    rollback_elapsed = 0.0
+    rollback_io = 0
+    for txn in txns:
+        undo = UndoLog()
+        engine.apply_with_undo(txn, undo)
+        before = db.counter.total
+        started = time.perf_counter()
+        undo.rollback()
+        rollback_elapsed += time.perf_counter() - started
+        rollback_io += db.counter.total - before
+    assert db.relation("R1").contents() == base, "rollback must restore state"
+    maintainer.verify()
+    return rollback_io, rollback_elapsed
+
+
+def run_engine_bench():
+    direct_io, direct_s = measure_direct()
+    engine_io, engine_s = measure_engine()
+    rollback_io, rollback_s = measure_rollback()
+    return {
+        "workload": {
+            "chain_length": K,
+            "rows_per_relation": ROWS,
+            "batch": BATCH,
+            "txns": N_TXNS,
+            "smoke": SMOKE,
+        },
+        "direct_apply": {
+            "io_per_txn": direct_io / N_TXNS,
+            "seconds": direct_s,
+        },
+        "engine_commit": {
+            "io_per_txn": engine_io / N_TXNS,
+            "seconds": engine_s,
+            "io_overhead": engine_io / direct_io,
+        },
+        "rollback": {
+            "io_per_txn": rollback_io / N_TXNS,
+            "seconds_per_txn": rollback_s / N_TXNS,
+        },
+    }
+
+
+def test_engine_txn(benchmark):
+    report = benchmark.pedantic(run_engine_bench, rounds=1, iterations=1)
+    direct = report["direct_apply"]
+    engine = report["engine_commit"]
+    rollback = report["rollback"]
+    emit(format_table(
+        f"E11 — engine commit overhead "
+        f"(k={K} chain, {ROWS} rows/relation, batch {BATCH}"
+        f"{', smoke' if SMOKE else ''})",
+        ["path", "page I/Os per txn", "wall s"],
+        [
+            ["direct maintainer apply", f"{direct['io_per_txn']:.1f}", f"{direct['seconds']:.3f}"],
+            ["engine commit", f"{engine['io_per_txn']:.1f}", f"{engine['seconds']:.3f}"],
+            ["logical rollback", f"{rollback['io_per_txn']:.1f}", f"{rollback['seconds_per_txn'] * N_TXNS:.3f}"],
+        ],
+    ))
+    # The commit pipeline is charge-neutral: scoped measurement + undo
+    # journaling must not add page I/O beyond the ceiling (in practice 1.0×).
+    assert engine["io_overhead"] <= IO_OVERHEAD_CEILING
+    # Logical undo is uncharged by design.
+    assert rollback["io_per_txn"] == 0
+    if not SMOKE:
+        _RESULTS_FILE.write_text(json.dumps(report, indent=2) + "\n")

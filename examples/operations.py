@@ -2,8 +2,9 @@
 
 Two engineering layers built on the paper's machinery:
 
-1. **Deferred maintenance** — queue transactions and refresh views per
-   batch; composed deltas collapse repeated work (demonstrated on a
+1. **Deferred maintenance** — commit through the transactional engine
+   under a ``DeferredPolicy``: transactions queue and views refresh once
+   per batch; composed deltas collapse repeated work (demonstrated on a
    hot-spot stream with batch sizes 1 / 5 / 20);
 2. **Adaptive re-optimization** — a chain-join view whose optimal
    auxiliary set depends on which end of the chain is hot; the controller
@@ -15,10 +16,19 @@ Run:  python examples/operations.py
 
 import random
 
-from repro import Catalog, CostConfig, DagEstimator, Delta, PageIOCostModel, Transaction, build_dag
+from repro import (
+    Catalog,
+    CostConfig,
+    DagEstimator,
+    DeferredPolicy,
+    Delta,
+    Engine,
+    PageIOCostModel,
+    Transaction,
+    build_dag,
+)
 from repro.core.adaptive import AdaptiveMaintainer
-from repro.core.optimizer import evaluate_view_set, optimal_view_set
-from repro.ivm.deferred import DeferredMaintainer
+from repro.core.optimizer import optimal_view_set
 from repro.ivm.maintainer import ViewMaintainer
 from repro.storage.database import Database
 from repro.workload.generators import chain_view, load_chain_database
@@ -51,27 +61,27 @@ def deferred_demo() -> None:
             estimator, cost_model,
         )
         maintainer.materialize()
-        deferred = DeferredMaintainer(maintainer)
+        engine = Engine(maintainer, policy=DeferredPolicy(batch_size=batch_size))
         # Hot spot: the same three employees get repeated raises.
         emps = {r[0]: r for r in db.relation("Emp").contents().rows()}
         hot = sorted(emps)[:3]
-        rng = random.Random(9)
-        db.counter.reset()
         n = 60
+        io = 0
         for i in range(n):
             name = hot[i % 3]
             old = emps[name]
             new = (old[0], old[1], old[2] + 1)
             emps[name] = new
-            deferred.enqueue(
+            result = engine.execute(
                 Transaction(">Emp", {"Emp": Delta.modification([(old, new)])})
             )
-            if deferred.pending >= batch_size:
-                deferred.flush()
-        deferred.flush()
+            io += result.io.total
+        tail = engine.flush()
+        if tail is not None:
+            io += tail.io.total
         maintainer.verify()
         print(f"  batch size {batch_size:2d}: "
-              f"{db.counter.total / n:5.2f} page I/Os per transaction")
+              f"{io / n:5.2f} page I/Os per transaction")
     print()
 
 

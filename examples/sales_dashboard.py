@@ -21,6 +21,7 @@ from repro import (
     CostConfig,
     DagEstimator,
     Delta,
+    Engine,
     PageIOCostModel,
     Transaction,
     ViewMaintainer,
@@ -82,10 +83,11 @@ def run_strategy(label, marking_of, n_txns=120, seed=3):
         charge_root_update=True,
     )
     maintainer.materialize()
+    engine = Engine(maintainer)
 
     rng = random.Random(seed)
     next_order = 10**6
-    db.counter.reset()
+    io = 0
     for i in range(n_txns):
         if i % 10 != 9:
             row = (
@@ -100,9 +102,9 @@ def run_strategy(label, marking_of, n_txns=120, seed=3):
             old = rng.choice(sorted(db.relation("Items").contents().rows()))
             new = (old[0], old[1] + rng.choice([-1, 1, 2]), old[2])
             txn = Transaction("reprice", {"Items": Delta.modification([(old, new)])})
-        maintainer.apply(txn)
+        io += engine.execute(txn).io.total
     maintainer.verify()
-    per_txn = db.counter.total / n_txns
+    per_txn = io / n_txns
     extras = sorted(g for g in marking if dag.memo.find(g) != dag.root)
     names = [str(set(dag.memo.group(g).schema.names)) for g in extras]
     print(f"{label:12s} {per_txn:8.2f} I/Os/txn   estimate {ev.weighted_cost:8.2f}"

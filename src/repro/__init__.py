@@ -57,6 +57,17 @@ from repro.cost.model import CostConfig, CostModel
 from repro.cost.page_io import PageIOCostModel
 from repro.dag.builder import ViewDag, build_dag, build_multi_dag
 from repro.dag.display import count_trees, render_dag
+from repro.engine import (
+    DeferredPolicy,
+    Engine,
+    EngineError,
+    EngineTransaction,
+    EnforcingPolicy,
+    ImmediatePolicy,
+    MaintenancePolicy,
+    TransactionResult,
+    UndoLog,
+)
 from repro.ivm.delta import Delta
 from repro.ivm.maintainer import ViewMaintainer
 from repro.shell import ShellSession
@@ -80,8 +91,15 @@ __all__ = [
     "DagEstimator",
     "DataType",
     "Database",
+    "DeferredPolicy",
     "Delta",
+    "Engine",
+    "EngineError",
+    "EngineTransaction",
+    "EnforcingPolicy",
     "GroupAggregate",
+    "ImmediatePolicy",
+    "MaintenancePolicy",
     "Join",
     "Multiset",
     "MultiViewProblem",
@@ -95,7 +113,9 @@ __all__ = [
     "ShellSession",
     "TableStats",
     "Transaction",
+    "TransactionResult",
     "TransactionType",
+    "UndoLog",
     "UpdateSpec",
     "ViewDag",
     "ViewMaintainer",

@@ -4,7 +4,12 @@ Subcommands:
 
 * ``demo`` — the paper's running example end to end (optimize + execute);
 * ``advise`` — read view/assertion DDL and a workload description, print a
-  materialization advisor report.
+  materialization advisor report;
+* ``run`` — generate a paper-workload transaction stream and commit it
+  through the transactional engine under a chosen maintenance policy
+  (``immediate``, ``deferred``, or ``enforce``), reporting throughput,
+  page I/O, and assertion outcomes;
+* ``shell`` — interactive SQL shell over a maintained database.
 
 The ``advise`` workload file is a small text format, one directive per
 line::
@@ -163,6 +168,113 @@ def advise(
     return header + "\n" + render_report(dag, result, txns, cost_model, estimator)
 
 
+def run_stream(
+    policy: str = "immediate",
+    n_txns: int = 100,
+    batch_size: int = 10,
+    n_depts: int = 50,
+    emps_per_dept: int = 10,
+    seed: int = 0,
+) -> str:
+    """Commit a random paper-workload stream through the engine.
+
+    Loads the corporate database with the DeptConstraint assertion, builds
+    an :class:`~repro.engine.engine.Engine` with the requested maintenance
+    policy, drives ``n_txns`` random >Emp / >Dept modifications through
+    :func:`~repro.workload.runner.run_transactions`, and returns the
+    report text.
+    """
+    import random
+
+    from repro.constraints.assertions import AssertionSystem
+    from repro.engine import DeferredPolicy, Engine
+    from repro.shell import DEPT_CONSTRAINT
+    from repro.storage.database import Database
+    from repro.workload.generators import random_modify
+    from repro.workload.paperdb import (
+        DEPT_SCHEMA,
+        EMP_SCHEMA,
+        generate_corporate_db,
+    )
+    from repro.workload.runner import run_transactions
+    from repro.workload.transactions import paper_transactions
+
+    if policy not in ("immediate", "deferred", "enforce"):
+        raise ValueError(f"unknown policy {policy!r}")
+    db = Database()
+    data = generate_corporate_db(
+        n_depts, emps_per_dept, seed=seed, budget_range=(800, 1200)
+    )
+    db.create_relation("Dept", DEPT_SCHEMA, data["Dept"], indexes=[["DName"]])
+    db.create_relation("Emp", EMP_SCHEMA, data["Emp"], indexes=[["DName"]])
+    system = AssertionSystem(
+        db, [DEPT_CONSTRAINT], paper_transactions(), enforce=(policy == "enforce")
+    )
+    if policy == "deferred":
+        engine = Engine(
+            system.maintainer,
+            policy=DeferredPolicy(batch_size=batch_size),
+            assertion_roots=system.roots,
+        )
+    else:
+        engine = system.engine
+    rng = random.Random(seed)
+    column = {"Emp": "Salary", "Dept": "Budget"}
+
+    def stream():
+        # Deferred commits are invisible until flush, so the generator
+        # tracks the logical (queued-inclusive) rows itself; under the
+        # immediate/enforcing policies the database is always current
+        # (rejected transactions are rolled back), so it reads live state.
+        if policy == "deferred":
+            from repro.ivm.delta import Delta
+            from repro.workload.transactions import Transaction
+
+            logical = {
+                rel: sorted(db.relation(rel).contents().rows())
+                for rel in column
+            }
+            for _ in range(n_txns):
+                rel = "Emp" if rng.random() < 0.5 else "Dept"
+                rows = logical[rel]
+                i = rng.randrange(len(rows))
+                old = rows[i]
+                idx = db.relation(rel).schema.index_of(column[rel])
+                change = rng.randint(-10, 10) or 1
+                new = old[:idx] + (old[idx] + change,) + old[idx + 1 :]
+                rows[i] = new
+                yield Transaction(
+                    f">{rel}", {rel: Delta.modification([(old, new)])}
+                )
+        else:
+            for _ in range(n_txns):
+                rel = "Emp" if rng.random() < 0.5 else "Dept"
+                yield random_modify(db, f">{rel}", rel, column[rel], rng)
+
+    report = run_transactions(engine, stream())
+    lines = [
+        f"policy={policy} n_txns={n_txns} seed={seed}",
+        str(report),
+    ]
+    for name, count in sorted(report.new_violations.items()):
+        lines.append(f"  {name}: {count} violating rows entered")
+    for name, count in sorted(report.cleared_violations.items()):
+        lines.append(f"  {name}: {count} violating rows cleared")
+    return "\n".join(lines)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    print(
+        run_stream(
+            policy=args.policy,
+            n_txns=args.n_txns,
+            batch_size=args.batch_size,
+            seed=args.seed,
+        )
+    )
+    return 0
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     from repro.workload.paperdb import DEPT_SCHEMA, EMP_SCHEMA
     from repro.workload.transactions import paper_transactions
@@ -234,6 +346,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="persist the chosen plan as JSON for later reuse",
     )
     adv.set_defaults(func=_cmd_advise)
+    run = sub.add_parser(
+        "run", help="commit a random paper workload through the engine"
+    )
+    run.add_argument(
+        "--policy", choices=["immediate", "deferred", "enforce"],
+        default="immediate", help="maintenance policy for the engine",
+    )
+    run.add_argument("--n-txns", type=int, default=100, help="stream length")
+    run.add_argument(
+        "--batch-size", type=int, default=10,
+        help="flush threshold for --policy deferred",
+    )
+    run.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    run.set_defaults(func=_cmd_run)
     shell = sub.add_parser(
         "shell", help="interactive SQL shell over a maintained database"
     )

@@ -21,6 +21,7 @@ from repro.cost.page_io import PageIOCostModel
 from repro.core.optimizer import OptimizationResult, optimal_view_set
 from repro.core.heuristics import greedy_view_set
 from repro.dag.builder import build_multi_dag
+from repro.engine import Engine, EnforcingPolicy, ImmediatePolicy
 from repro.ivm.maintainer import ViewMaintainer
 from repro.sql.translate import translate_sql
 from repro.storage.database import Database
@@ -106,6 +107,38 @@ class AssertionSystem:
         self._roots = {
             name: self.dag.root_of(name) for name in self.assertions
         }
+        self._build_engines()
+
+    def _build_engines(self) -> None:
+        # All transaction processing routes through the engine layer: the
+        # default engine reports violations, the enforcing one rejects
+        # violating transactions with an atomic (uncharged) rollback.
+        self.engine = Engine(
+            self.maintainer,
+            policy=EnforcingPolicy() if self.enforce else ImmediatePolicy(),
+            assertion_roots=self._roots,
+        )
+        self._enforcer = (
+            self.engine
+            if self.enforce
+            else Engine(
+                self.maintainer,
+                policy=EnforcingPolicy(),
+                assertion_roots=self._roots,
+            )
+        )
+
+    def use_maintainer(self, maintainer: ViewMaintainer) -> None:
+        """Swap in a different (already materialized) maintainer and rebuild
+        the engines around it — e.g. to compare view-set choices over the
+        same assertion DAG (benchmarks/bench_assertions.py)."""
+        self.maintainer = maintainer
+        self._build_engines()
+
+    @property
+    def roots(self) -> dict[str, int]:
+        """Assertion name → DAG root group id (the violation views)."""
+        return dict(self._roots)
 
     # -- initial state ---------------------------------------------------------------
 
@@ -118,55 +151,32 @@ class AssertionSystem:
     # -- transaction processing ---------------------------------------------------------
 
     def process(self, txn: Transaction) -> CheckResult:
-        """Apply a transaction, maintaining every assertion view.
+        """Apply a transaction through the engine, maintaining every
+        assertion view.
 
-        In ``enforce`` mode a transaction that introduces violations raises
-        :class:`AssertionViolation` *after rolling back nothing* — callers
-        are expected to check first (the paper's setting checks on update);
-        here enforcement means the exception carries the offending rows and
-        the transaction is still applied to keep the demo simple to reason
-        about (see examples/integrity_checking.py for check-then-commit).
+        In ``enforce`` mode (the engine's
+        :class:`~repro.engine.policy.EnforcingPolicy`) a transaction that
+        introduces violations is rejected **atomically**: base relations
+        and all materialized views are rolled back to the exact
+        pre-transaction state (uncharged, via the inverse-delta undo log)
+        before :class:`AssertionViolation` propagates — assertion checking
+        is only sound if a violating transaction can be refused.
         """
-        deltas = self.maintainer.apply(txn)
-        result = CheckResult()
-        for name, root in self._roots.items():
-            delta = deltas.get(self.dag.memo.find(root))
-            if delta is None or delta.is_empty:
-                continue
-            entered = delta.all_inserted()
-            left = delta.all_deleted()
-            if entered:
-                result.new_violations[name] = entered
-            if left:
-                result.cleared_violations[name] = left
-        if self.enforce and not result.ok:
-            name, rows = next(iter(result.new_violations.items()))
-            raise AssertionViolation(name, rows)
-        return result
+        result = self.engine.execute(txn)
+        return CheckResult(
+            dict(result.new_violations), dict(result.cleared_violations)
+        )
 
     def would_violate(self, txn: Transaction) -> bool:
-        """Check-without-commit: does the transaction introduce violations?
+        """Check-and-commit-if-clean: does the transaction introduce
+        violations?
 
-        Computes deltas against the current state without applying them, by
-        running the maintenance propagation on a scratch copy.
+        Routed through an enforcing engine: a clean transaction commits
+        and stays applied; a violating one is rolled back atomically
+        (uncharged) and ``True`` is returned.
         """
-        result = self.process(txn)
-        if not result.ok:
-            # Roll back by applying the inverse transaction.
-            inverse = Transaction(
-                txn.type_name,
-                {rel: _invert(delta) for rel, delta in txn.deltas.items()},
-            )
-            self.maintainer.apply(inverse)
+        try:
+            self._enforcer.execute(txn)
+        except AssertionViolation:
             return True
         return False
-
-
-def _invert(delta):
-    from repro.ivm.delta import Delta
-
-    return Delta(
-        inserts=delta.deletes.copy(),
-        deletes=delta.inserts.copy(),
-        modifies=[(new, old) for old, new in delta.modifies],
-    )

@@ -5,8 +5,9 @@ frequency of the transaction type"). In a running system those frequencies
 drift, and the optimal auxiliary view set drifts with them. The
 :class:`AdaptiveMaintainer` closes the loop:
 
-* it executes transactions through an ordinary
-  :class:`~repro.ivm.maintainer.ViewMaintainer`, counting what it sees;
+* it commits transactions through the transactional
+  :class:`~repro.engine.engine.Engine` (over an ordinary
+  :class:`~repro.ivm.maintainer.ViewMaintainer`), counting what it sees;
 * every ``window`` transactions it re-estimates the weights from the
   observed mix, re-runs the view-set search, and — when the answer changes
   and the projected savings outweigh the (amortized) migration cost —
@@ -89,6 +90,7 @@ class AdaptiveMaintainer:
         self._cache = SearchCache(dag.memo, cost_model, estimator)
         self.maintainer = self._build_maintainer(self.base_txns)
         self.maintainer.materialize()
+        self.engine = self._build_engine()
 
     # -- plan management ---------------------------------------------------------
 
@@ -125,14 +127,22 @@ class AdaptiveMaintainer:
             self.cost_model,
         )
 
+    def _build_engine(self):
+        from repro.engine import Engine
+
+        return Engine(self.maintainer)
+
     @property
     def marking(self) -> frozenset[int]:
         return self.maintainer.marking
 
     # -- execution ------------------------------------------------------------------
 
-    def apply(self, txn: Transaction) -> None:
-        self.maintainer.apply(txn)
+    def apply(self, txn: Transaction):
+        """Commit one transaction through the engine; every ``window``
+        commits the observed mix may trigger re-optimization. Returns the
+        engine's :class:`~repro.engine.engine.TransactionResult`."""
+        result = self.engine.execute(txn)
         self._counts[txn.type_name] = self._counts.get(txn.type_name, 0) + 1
         self._seen += 1
         if self._seen % self.window == 0:
@@ -140,6 +150,7 @@ class AdaptiveMaintainer:
             # Exponential smoothing: recent windows dominate the estimate.
             for name in self._counts:
                 self._counts[name] *= self.decay
+        return result
 
     def _maybe_reoptimize(self) -> None:
         txns = self._reweighted()
@@ -232,6 +243,9 @@ class AdaptiveMaintainer:
             self.cost_model,
         )
         self.maintainer.materialize()
+        # The engine is bound to the old maintainer; rebuild it over the
+        # migrated one so subsequent commits maintain the new view set.
+        self.engine = self._build_engine()
 
     def verify(self) -> None:
         self.maintainer.verify()

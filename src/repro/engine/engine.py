@@ -1,0 +1,267 @@
+"""The transactional engine facade.
+
+One lifecycle for every write path in the system::
+
+    engine = Engine(maintainer)
+    txn = engine.begin()
+    txn.stage("Emp", Delta.modification([(old, new)]))
+    result = txn.commit()          # or txn.rollback() to discard
+
+``commit()`` hands the staged transaction to the engine's
+:class:`~repro.engine.policy.MaintenancePolicy`, which decides *when and
+how* views are maintained (immediately, per batch, or with atomic
+rejection of assertion violations). Every commit is measured with a scoped
+I/O counter (per-transaction attribution) and journaled in an
+:class:`~repro.storage.undo.UndoLog` of inverse deltas, so any policy —
+and any storage error — can roll the database and all materialized views
+back to the exact pre-transaction state, uncharged.
+
+:class:`EngineTransaction` is also a context manager: a clean ``with``
+block commits, an exception discards the staged work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.algebra.evaluate import evaluate
+from repro.algebra.multiset import Multiset, Row
+from repro.algebra.operators import RelExpr
+from repro.ivm.delta import Delta
+from repro.storage.pager import IOStats
+from repro.storage.undo import UndoLog
+from repro.workload.transactions import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.engine.policy import MaintenancePolicy
+    from repro.ivm.maintainer import ViewMaintainer
+
+
+class EngineError(Exception):
+    """Raised for transaction-lifecycle misuse (stage after commit, …)."""
+
+
+@dataclass
+class TransactionResult:
+    """Outcome of one committed transaction.
+
+    ``deferred`` marks a commit that only queued the transaction (its
+    maintenance I/O will be attributed to the flushing commit);
+    ``view_deltas`` / ``io`` / violation maps are empty for those.
+    """
+
+    txn: Transaction
+    committed: bool
+    deferred: bool = False
+    view_deltas: dict[int, Delta] = field(default_factory=dict)
+    io: IOStats = field(default_factory=IOStats)
+    new_violations: dict[str, Multiset] = field(default_factory=dict)
+    cleared_violations: dict[str, Multiset] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when the transaction introduced no assertion violations."""
+        return not self.new_violations
+
+
+class EngineTransaction:
+    """One open transaction: stage deltas, then commit or roll back."""
+
+    def __init__(self, engine: "Engine", name: str) -> None:
+        self._engine = engine
+        self.name = name
+        self.state = "active"  # 'active' | 'committed' | 'rolled back'
+        self._staged: dict[str, list[Delta]] = {}
+
+    # -- staging -----------------------------------------------------------------
+
+    def _check_active(self) -> None:
+        if self.state != "active":
+            raise EngineError(f"transaction {self.name!r} is already {self.state}")
+
+    def stage(self, relation: str, delta: Delta) -> "EngineTransaction":
+        """Stage a delta against ``relation``; nothing is applied until
+        commit. Staging validates that the relation exists."""
+        self._check_active()
+        self._engine.db.relation(relation)  # raises StorageError if unknown
+        if not delta.is_empty:
+            self._staged.setdefault(relation, []).append(delta)
+        return self
+
+    def insert(self, relation: str, rows: Iterable[Row]) -> "EngineTransaction":
+        """Stage insertions."""
+        return self.stage(relation, Delta.insertion(rows))
+
+    def delete(self, relation: str, rows: Iterable[Row]) -> "EngineTransaction":
+        """Stage deletions."""
+        return self.stage(relation, Delta.deletion(rows))
+
+    def modify(
+        self, relation: str, pairs: Iterable[tuple[Row, Row]]
+    ) -> "EngineTransaction":
+        """Stage (old, new) modifications."""
+        return self.stage(relation, Delta.modification(pairs))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._staged
+
+    def staged_transaction(self) -> Transaction:
+        """The staged work as one composed :class:`Transaction` (sequential
+        deltas per relation are net-composed, with delete+insert pairs on a
+        candidate key re-paired into modifications)."""
+        from repro.ivm.deferred import compose_deltas
+
+        deltas: dict[str, Delta] = {}
+        for relation, staged in self._staged.items():
+            schema = self._engine.db.relation(relation).schema
+            composed = compose_deltas(schema, staged)
+            if not composed.is_empty:
+                deltas[relation] = composed
+        return Transaction(self.name, deltas)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def commit(self) -> TransactionResult:
+        """Hand the staged transaction to the engine's policy.
+
+        On success the transaction is ``committed``. If the policy rejects
+        it (e.g. :class:`EnforcingPolicy` on an assertion violation) the
+        database is already rolled back when the exception propagates and
+        the transaction is marked ``rolled back``.
+        """
+        self._check_active()
+        txn = self.staged_transaction()
+        try:
+            result = self._engine.execute(txn)
+        except Exception:
+            self.state = "rolled back"
+            raise
+        self.state = "committed"
+        return result
+
+    def rollback(self) -> None:
+        """Discard the staged deltas; the database was never touched."""
+        self._check_active()
+        self._staged.clear()
+        self.state = "rolled back"
+
+    def __enter__(self) -> "EngineTransaction":
+        self._check_active()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.state != "active":
+            return  # already committed / rolled back explicitly
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+
+    def __repr__(self) -> str:
+        return f"<EngineTransaction {self.name} [{self.state}]: {sorted(self._staged)}>"
+
+
+class Engine:
+    """The single write path: database + maintainer + maintenance policy.
+
+    Wraps a materialized :class:`~repro.ivm.maintainer.ViewMaintainer` and
+    routes every transaction through one policy-driven commit pipeline;
+    ``assertion_roots`` (assertion name → DAG root group) lets results
+    carry per-assertion violation reports, and is what
+    :class:`~repro.engine.policy.EnforcingPolicy` enforces against.
+    """
+
+    def __init__(
+        self,
+        maintainer: "ViewMaintainer",
+        policy: "MaintenancePolicy | None" = None,
+        assertion_roots: Mapping[str, int] | None = None,
+    ) -> None:
+        from repro.engine.policy import ImmediatePolicy
+
+        self.maintainer = maintainer
+        self.db = maintainer.db
+        self.assertion_roots = dict(assertion_roots or {})
+        self.policy = policy if policy is not None else ImmediatePolicy()
+        self._txn_seq = 0
+        self.policy.bind(self)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def begin(self, name: str | None = None) -> EngineTransaction:
+        """Open a transaction (usable as a context manager)."""
+        self._txn_seq += 1
+        return EngineTransaction(self, name or f"__txn_{self._txn_seq}")
+
+    def execute(self, txn: Transaction) -> TransactionResult:
+        """Commit a ready-made :class:`Transaction` through the policy."""
+        if not any(not d.is_empty for d in txn.deltas.values()):
+            return TransactionResult(txn=txn, committed=True)
+        return self.policy.commit(self, txn)
+
+    def flush(self) -> TransactionResult | None:
+        """Flush policy-deferred work (no-op for immediate policies)."""
+        return self.policy.flush(self)
+
+    @property
+    def pending(self) -> int:
+        """Transactions the policy has accepted but not yet applied."""
+        return self.policy.pending
+
+    # -- reads -------------------------------------------------------------------
+
+    def select(self, expr: RelExpr) -> tuple[Multiset, IOStats]:
+        """Evaluate a query, charged as scans of the base relations it
+        reads (hash joins and aggregation are memory-resident, as in the
+        maintainer's scan accounting). Returns (rows, this query's I/O)."""
+        counter = self.db.counter
+        with counter.scoped() as scope:
+            for name in sorted(expr.base_relations()):
+                counter.charge_tuple_read(self.db.relation(name).row_count)
+            with counter.suspended():
+                result = evaluate(expr, self.db)
+        return result, scope.stats
+
+    def io_snapshot(self) -> IOStats:
+        """Cumulative I/O of the underlying database counter."""
+        return self.db.counter.snapshot()
+
+    # -- policy plumbing ---------------------------------------------------------
+
+    def apply_with_undo(self, txn: Transaction, undo: UndoLog) -> dict[int, Delta]:
+        """Apply through the maintainer, journaling inverse deltas.
+
+        Declared transaction types use their optimizer-chosen track;
+        anything else goes through the ad-hoc path (track chosen on the
+        fly from the concrete deltas).
+        """
+        if txn.type_name in self.maintainer.txn_types:
+            return self.maintainer.apply(txn, undo=undo)
+        return self.maintainer.apply_adhoc(txn, name=txn.type_name, undo=undo)
+
+    def violations(
+        self, view_deltas: Mapping[int, Delta]
+    ) -> tuple[dict[str, Multiset], dict[str, Multiset]]:
+        """Split assertion-root deltas into (entered, cleared) violations."""
+        new: dict[str, Multiset] = {}
+        cleared: dict[str, Multiset] = {}
+        memo = self.maintainer.memo
+        for name, root in self.assertion_roots.items():
+            delta = view_deltas.get(memo.find(root))
+            if delta is None or delta.is_empty:
+                continue
+            entered = delta.all_inserted()
+            left = delta.all_deleted()
+            if entered:
+                new[name] = entered
+            if left:
+                cleared[name] = left
+        return new, cleared
+
+    def __repr__(self) -> str:
+        return (
+            f"<Engine policy={type(self.policy).__name__} "
+            f"views={len(self.maintainer.marking)} pending={self.pending}>"
+        )

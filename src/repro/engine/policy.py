@@ -1,0 +1,175 @@
+"""Pluggable maintenance policies: *when and how* a commit maintains views.
+
+Every policy sees the same commit pipeline (scoped I/O attribution + an
+:class:`~repro.storage.undo.UndoLog` of inverse deltas); they differ in
+what happens around it:
+
+* :class:`ImmediatePolicy` — the paper's per-transaction maintenance:
+  apply base deltas, propagate to every materialized view, commit.
+* :class:`DeferredPolicy` — queue commits and refresh views once per
+  batch (composed deltas collapse repeated work); flush on demand or
+  automatically every ``batch_size`` commits.
+* :class:`EnforcingPolicy` — assertion checking with teeth: a transaction
+  that introduces violations is rolled back **atomically** (base
+  relations and all views restored bit-identically, rollback uncharged)
+  and :class:`~repro.constraints.assertions.AssertionViolation` is raised
+  over the clean pre-transaction state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine.engine import EngineError, TransactionResult
+from repro.storage.undo import UndoLog
+from repro.workload.transactions import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.engine.engine import Engine
+    from repro.ivm.deferred import DeferredMaintainer
+
+
+def _commit_through_maintainer(engine: "Engine", txn: Transaction) -> TransactionResult:
+    """The shared commit pipeline: scoped I/O, undo journal, violation
+    report. A storage error mid-apply rolls back the applied prefix before
+    propagating, so even failed commits leave a consistent state."""
+    undo = UndoLog()
+    with engine.db.counter.scoped() as scope:
+        try:
+            view_deltas = engine.apply_with_undo(txn, undo)
+        except Exception:
+            undo.rollback()
+            raise
+    new, cleared = engine.violations(view_deltas)
+    return TransactionResult(
+        txn=txn,
+        committed=True,
+        view_deltas=view_deltas,
+        io=scope.stats,
+        new_violations=new,
+        cleared_violations=cleared,
+    )
+
+
+class MaintenancePolicy:
+    """Strategy interface for :class:`~repro.engine.engine.Engine` commits."""
+
+    def bind(self, engine: "Engine") -> None:
+        """Called once when attached to an engine (build per-engine state)."""
+
+    def commit(self, engine: "Engine", txn: Transaction) -> TransactionResult:
+        """Commit one transaction; must either apply-and-report or raise
+        with the database rolled back to the pre-transaction state."""
+        raise NotImplementedError
+
+    def flush(self, engine: "Engine") -> TransactionResult | None:
+        """Apply any deferred work; immediate policies have none."""
+        return None
+
+    @property
+    def pending(self) -> int:
+        """Commits accepted but not yet applied to the database."""
+        return 0
+
+
+class ImmediatePolicy(MaintenancePolicy):
+    """Maintain every materialized view within the committing transaction
+    (the paper's setting)."""
+
+    def commit(self, engine: "Engine", txn: Transaction) -> TransactionResult:
+        """Apply base deltas and propagate to all views, atomically."""
+        return _commit_through_maintainer(engine, txn)
+
+
+class EnforcingPolicy(MaintenancePolicy):
+    """Immediate maintenance that *rejects* violating transactions.
+
+    Requires the engine to know its ``assertion_roots``. On violation, the
+    undo log restores base relations and every materialized view exactly
+    (uncharged), then :class:`AssertionViolation` is raised — the paper's
+    §6 integrity checking upgraded from "report" to "enforce".
+    """
+
+    def bind(self, engine: "Engine") -> None:
+        """Validate that the engine can attribute violations."""
+        if not engine.assertion_roots:
+            raise EngineError(
+                "EnforcingPolicy needs an Engine with assertion_roots"
+            )
+
+    def commit(self, engine: "Engine", txn: Transaction) -> TransactionResult:
+        """Apply, check assertion roots, and roll back atomically on entry
+        of any violation."""
+        undo = UndoLog()
+        with engine.db.counter.scoped() as scope:
+            try:
+                view_deltas = engine.apply_with_undo(txn, undo)
+            except Exception:
+                undo.rollback()
+                raise
+        new, cleared = engine.violations(view_deltas)
+        if new:
+            undo.rollback()
+            from repro.constraints.assertions import AssertionViolation
+
+            name = min(new)
+            raise AssertionViolation(name, new[name])
+        return TransactionResult(
+            txn=txn,
+            committed=True,
+            view_deltas=view_deltas,
+            io=scope.stats,
+            new_violations={},
+            cleared_violations=cleared,
+        )
+
+
+class DeferredPolicy(MaintenancePolicy):
+    """Queue commits; refresh all views once per batch.
+
+    Wraps a :class:`~repro.ivm.deferred.DeferredMaintainer` for the
+    composition machinery. ``commit`` returns a ``deferred`` result (the
+    database is untouched until flush); when ``batch_size`` is set, the
+    commit that fills the batch flushes it and returns the batch's
+    *applied* result instead.
+    """
+
+    def __init__(
+        self,
+        batch_size: int | None = None,
+        deferred: "DeferredMaintainer | None" = None,
+    ) -> None:
+        if batch_size is not None and batch_size < 1:
+            raise EngineError("batch_size must be positive")
+        self.batch_size = batch_size
+        self._deferred = deferred
+
+    def bind(self, engine: "Engine") -> None:
+        """Build the composition queue over the engine's maintainer."""
+        if self._deferred is None:
+            from repro.ivm.deferred import DeferredMaintainer
+
+            self._deferred = DeferredMaintainer(engine.maintainer)
+
+    def commit(self, engine: "Engine", txn: Transaction) -> TransactionResult:
+        """Enqueue; flush (and return the applied batch result) when the
+        batch is full."""
+        assert self._deferred is not None, "policy used before bind()"
+        self._deferred.enqueue(txn)
+        if self.batch_size is not None and self._deferred.pending >= self.batch_size:
+            flushed = self.flush(engine)
+            if flushed is not None:
+                return flushed
+        return TransactionResult(txn=txn, committed=True, deferred=True)
+
+    def flush(self, engine: "Engine") -> TransactionResult | None:
+        """Compose the queue into one transaction and commit it now."""
+        assert self._deferred is not None, "policy used before bind()"
+        combined = self._deferred.compose()
+        if combined is None:
+            return None
+        return _commit_through_maintainer(engine, combined)
+
+    @property
+    def pending(self) -> int:
+        return self._deferred.pending if self._deferred is not None else 0

@@ -10,10 +10,13 @@ transactions.
 
 Semantics: queued transactions are not visible in the database until
 ``flush()`` — the usual deferred-maintenance contract. Flushing builds one
-combined transaction per batch, derives its update tracks with the same
-cost model the optimizer uses, and runs the ordinary
-:class:`~repro.ivm.maintainer.ViewMaintainer` machinery, so all of its
-correctness guarantees (and its ``verify()``) apply.
+combined transaction per batch and commits it through the transactional
+:class:`~repro.engine.engine.Engine` (which derives its update tracks with
+the same cost model the optimizer uses and runs the ordinary
+:class:`~repro.ivm.maintainer.ViewMaintainer` machinery), so all of its
+correctness guarantees (and its ``verify()``) apply. The engine's
+:class:`~repro.engine.policy.DeferredPolicy` wraps this class to expose
+batching as a commit policy.
 """
 
 from __future__ import annotations
@@ -61,10 +64,21 @@ def _modified_columns(schema: Schema, delta: Delta) -> frozenset[str]:
 class DeferredMaintainer:
     """Queues transactions and refreshes materialized views per batch."""
 
-    def __init__(self, maintainer: ViewMaintainer) -> None:
+    def __init__(self, maintainer: ViewMaintainer, engine=None) -> None:
         self.maintainer = maintainer
+        self._engine = engine
         self._queue: list[Transaction] = []
         self._flush_count = 0
+
+    @property
+    def engine(self):
+        """The engine batches are committed through (built on first use;
+        imported lazily — the engine layer sits above this module)."""
+        if self._engine is None:
+            from repro.engine.engine import Engine
+
+            self._engine = Engine(self.maintainer)
+        return self._engine
 
     @property
     def pending(self) -> int:
@@ -74,8 +88,12 @@ class DeferredMaintainer:
         """Queue a transaction; the database is untouched until flush()."""
         self._queue.append(txn)
 
-    def flush(self) -> Transaction | None:
-        """Apply the composed batch; returns the combined transaction."""
+    def compose(self) -> Transaction | None:
+        """Drain the queue into one net combined transaction (no apply).
+
+        Returns ``None`` when the queue is empty or the composed deltas
+        cancel out entirely — a cancelling batch costs zero I/O.
+        """
         if not self._queue:
             return None
         db = self.maintainer.db
@@ -92,8 +110,13 @@ class DeferredMaintainer:
         self._flush_count += 1
         if not combined_deltas:
             return None
+        return Transaction(f"__batch_{self._flush_count}", combined_deltas)
 
-        name = f"__batch_{self._flush_count}"
-        combined = Transaction(name, combined_deltas)
-        self.maintainer.apply_adhoc(combined, name=name)
+    def flush(self) -> Transaction | None:
+        """Commit the composed batch through the engine; returns the
+        combined transaction."""
+        combined = self.compose()
+        if combined is None:
+            return None
+        self.engine.execute(combined)
         return combined

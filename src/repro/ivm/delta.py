@@ -48,6 +48,16 @@ class Delta:
         """Split a signed multiset into inserts and deletes (no modifies)."""
         return Delta(inserts=net.positive_part(), deletes=net.negative_part())
 
+    def inverted(self) -> "Delta":
+        """The inverse delta: applying it after this one restores the
+        original relation state (O(|delta|) logical undo — the engine
+        layer's rollback primitive)."""
+        return Delta(
+            inserts=self.deletes.copy(),
+            deletes=self.inserts.copy(),
+            modifies=[(new, old) for old, new in self.modifies],
+        )
+
     # -- views --------------------------------------------------------------------
 
     def net(self) -> Multiset:

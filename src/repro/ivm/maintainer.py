@@ -22,7 +22,7 @@ materialized view against from-scratch re-evaluation.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.algebra.compile import (
     apply_dedup,
@@ -69,6 +69,9 @@ from repro.ivm.propagate import (
 from repro.storage.database import Database
 from repro.storage.relation import StoredRelation
 from repro.workload.transactions import Transaction, TransactionType
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.storage.undo import UndoLog
 
 
 class MaintenanceError(Exception):
@@ -415,13 +418,18 @@ class ViewMaintainer:
                 best_track = track
         return best_track
 
-    def apply_adhoc(self, txn: Transaction, name: str | None = None) -> dict[int, Delta]:
+    def apply_adhoc(
+        self,
+        txn: Transaction,
+        name: str | None = None,
+        undo: "UndoLog | None" = None,
+    ) -> dict[int, Delta]:
         """Apply a transaction whose type was not declared up front.
 
         An update spec is derived from the concrete deltas, the cheapest
         track is chosen on the fly, and the transaction is applied through
-        the ordinary machinery. Useful for interactive DML and composed
-        batches.
+        the ordinary machinery (``undo`` is threaded through to
+        :meth:`apply`). Useful for interactive DML and composed batches.
         """
         from repro.workload.transactions import UpdateSpec
 
@@ -451,14 +459,19 @@ class ViewMaintainer:
         self.tracks[name] = track
         adhoc = Transaction(name, dict(txn.deltas))
         try:
-            return self.apply(adhoc)
+            return self.apply(adhoc, undo=undo)
         finally:
             self.txn_types.pop(name, None)
             self.tracks.pop(name, None)
 
-    def apply(self, txn: Transaction) -> dict[int, Delta]:
+    def apply(self, txn: Transaction, undo: "UndoLog | None" = None) -> dict[int, Delta]:
         """Process one transaction: compute all view deltas against the old
-        state, then apply base and view updates. Returns the view deltas."""
+        state, then apply base and view updates. Returns the view deltas.
+
+        When an :class:`~repro.storage.undo.UndoLog` is passed, every
+        applied delta's inverse is journaled in application order, so the
+        caller (the engine layer) can roll the whole transaction back —
+        including any prefix applied before a storage error."""
         txn_type = self.txn_types.get(txn.type_name)
         if txn_type is None:
             raise MaintenanceError(f"unknown transaction type {txn.type_name!r}")
@@ -476,15 +489,17 @@ class ViewMaintainer:
         for rel, delta in txn.deltas.items():
             relation = self.db.relation(rel)
             if self.charge_base_updates:
-                relation.apply_delta(delta)
+                inverse = relation.apply_delta(delta)
             else:
                 with self.db.counter.suspended():
-                    relation.apply_delta(delta)
+                    inverse = relation.apply_delta(delta)
+            if undo is not None:
+                undo.record(relation, inverse)
         for gid in sorted(self.marking):
             delta = deltas.get(gid)
             if delta is None or delta.is_empty:
                 continue
-            self._apply_view_delta(gid, delta)
+            self._apply_view_delta(gid, delta, undo)
         return {g: d for g, d in deltas.items() if g in self.marking}
 
     def _topological(self, track: UpdateTrack) -> list[int]:
@@ -800,13 +815,21 @@ class ViewMaintainer:
 
     # -- applying view deltas --------------------------------------------------------
 
-    def _apply_view_delta(self, gid: int, delta: Delta) -> None:
+    def _apply_view_delta(
+        self, gid: int, delta: Delta, undo: "UndoLog | None" = None
+    ) -> None:
         relation = self._views[gid]
+        inverse = self._apply_view_delta_charged(gid, relation, delta)
+        if undo is not None:
+            undo.record(relation, inverse)
+
+    def _apply_view_delta_charged(
+        self, gid: int, relation: StoredRelation, delta: Delta
+    ) -> Delta:
         charge = self.charge_root_update or gid not in self._roots
         if not charge:
             with self.db.counter.suspended():
-                relation.apply_delta(delta)
-            return
+                return relation.apply_delta(delta)
         if gid in self._self_maintained:
             # The old rows (and their index page) were probed while
             # computing the delta — charge only the writes, per the paper's
@@ -827,9 +850,8 @@ class ViewMaintainer:
                         touched.add(index.key_of(row))
                 counter.charge_index_write(len(touched))
             with counter.suspended():
-                relation.apply_delta(delta)
-            return
-        relation.apply_delta(delta)
+                return relation.apply_delta(delta)
+        return relation.apply_delta(delta)
 
     # -- verification ------------------------------------------------------------------
 

@@ -12,15 +12,16 @@ accepts:
   summary), ``\\plan`` (the maintenance plan), ``\\io`` (cumulative I/O),
   ``\\check`` (current violations), ``\\help``, ``\\quit``.
 
-The engine object (:class:`ShellSession`) is importable and scriptable —
-the REPL is a thin loop over ``execute``.
+:class:`ShellSession` is importable and scriptable — the REPL is a thin
+loop over ``execute``. All reads and writes route through the
+transactional :class:`~repro.engine.engine.Engine`, so every statement's
+page I/O is attributed to it (``io_cost`` on the result).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.algebra.evaluate import evaluate
 from repro.constraints.assertions import AssertionSystem
 from repro.sql import ast
 from repro.sql.dml import dml_to_delta, is_dml
@@ -76,6 +77,10 @@ class ShellSession:
         self.system = AssertionSystem(
             self.db, [DEPT_CONSTRAINT], paper_transactions()
         )
+        # All reads and writes go through the transactional engine: DML
+        # commits are measured with scoped I/O and violation reports come
+        # from the TransactionResult, not from reaching into the DAG.
+        self.engine = self.system.engine
         self._schemas = {"Dept": DEPT_SCHEMA, "Emp": EMP_SCHEMA}
 
     # -- statement execution -----------------------------------------------------
@@ -103,41 +108,31 @@ class ShellSession:
 
     def _run_select(self, statement: ast.SelectStmt) -> ShellResult:
         expr = _translate_select(statement, self._schemas, ())
-        result = evaluate(expr, self.db)
+        result, io = self.engine.select(expr)
         rows = sorted(result.expand())
         header = ", ".join(expr.schema.names)
         lines = [header] + [", ".join(str(v) for v in row) for row in rows[:20]]
         if len(rows) > 20:
             lines.append(f"... ({len(rows)} rows total)")
-        return ShellResult("rows", "\n".join(lines), rows=rows)
+        lines.append(f"({io.total} page I/Os)")
+        return ShellResult("rows", "\n".join(lines), rows=rows, io_cost=io.total)
 
     def _run_dml(self, statement) -> ShellResult:
         relation, delta = dml_to_delta(statement, self.db)
         if delta.is_empty:
             return ShellResult("dml", "no rows affected")
-        before = self.db.counter.total
         txn = Transaction("__shell", {relation: delta})
-        deltas = self.system.maintainer.apply_adhoc(txn)
-        cost = self.db.counter.total - before
+        result = self.engine.execute(txn)
+        cost = result.io.total
         pieces = [
             f"{delta.inserts.total()} inserted, {delta.deletes.total()} deleted, "
             f"{len(delta.modifies)} modified in {relation}; "
             f"{cost} page I/Os of view maintenance"
         ]
-        for name, root in self.system._roots.items():
-            d = deltas.get(self.system.dag.memo.find(root))
-            if d is None or d.is_empty:
-                continue
-            entered = d.all_inserted()
-            cleared = d.all_deleted()
-            if entered:
-                pieces.append(
-                    f"VIOLATION {name}: {sorted(entered.rows())}"
-                )
-            if cleared:
-                pieces.append(
-                    f"cleared {name}: {sorted(cleared.rows())}"
-                )
+        for name, entered in result.new_violations.items():
+            pieces.append(f"VIOLATION {name}: {sorted(entered.rows())}")
+        for name, cleared in result.cleared_violations.items():
+            pieces.append(f"cleared {name}: {sorted(cleared.rows())}")
         return ShellResult("dml", "\n".join(pieces), io_cost=cost)
 
     # -- meta commands --------------------------------------------------------------
@@ -174,7 +169,7 @@ class ShellSession:
                 ),
             )
         if name == "\\io":
-            return ShellResult("meta", str(self.db.counter.snapshot()))
+            return ShellResult("meta", str(self.engine.io_snapshot()))
         if name == "\\check":
             lines = []
             for assertion in self.system.assertions:

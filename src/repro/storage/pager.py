@@ -38,6 +38,14 @@ class IOStats:
             self.tuple_writes - other.tuple_writes,
         )
 
+    def __add__(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            self.index_reads + other.index_reads,
+            self.index_writes + other.index_writes,
+            self.tuple_reads + other.tuple_reads,
+            self.tuple_writes + other.tuple_writes,
+        )
+
     def __str__(self) -> str:
         return (
             f"{self.total} I/Os (idx r/w {self.index_reads}/{self.index_writes}, "
@@ -98,3 +106,35 @@ class IOCounter:
     def suspended(self) -> "_Suspended":
         """Context manager that disables charging (setup / verification)."""
         return IOCounter._Suspended(self)
+
+    class _Scoped:
+        """Attributes the I/O charged inside a ``with`` block (see
+        :meth:`IOCounter.scoped`). ``stats`` holds the block's
+        :class:`IOStats` after exit; ``so_far`` reads it mid-block."""
+
+        def __init__(self, counter: "IOCounter") -> None:
+            self._counter = counter
+            self._before = counter.snapshot()
+            self.stats = IOStats()
+
+        def __enter__(self) -> "IOCounter._Scoped":
+            self._before = self._counter.snapshot()
+            return self
+
+        def __exit__(self, *exc) -> None:
+            self.stats = self._counter.snapshot() - self._before
+
+        @property
+        def so_far(self) -> IOStats:
+            """Charges accumulated since the block was entered."""
+            return self._counter.snapshot() - self._before
+
+    def scoped(self) -> "_Scoped":
+        """Context manager that attributes charges to one scope.
+
+        Charging stays enabled — the scope is pure measurement (built on
+        :meth:`IOStats.__sub__`), so nesting and interleaving with
+        :meth:`suspended` both do the obvious thing. Used for
+        per-transaction I/O attribution in the engine layer.
+        """
+        return IOCounter._Scoped(self)

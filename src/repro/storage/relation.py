@@ -135,13 +135,31 @@ class StoredRelation:
 
     # -- maintenance ------------------------------------------------------------------
 
-    def apply_delta(self, delta: Delta) -> None:
-        """Apply a delta with the paper's charging policy."""
-        self._charge_and_apply_modifies(delta.modifies)
-        self._charge_and_apply(delta.inserts, sign=+1)
-        self._charge_and_apply(delta.deletes, sign=-1)
+    def apply_delta(self, delta: Delta) -> Delta:
+        """Apply a delta with the paper's charging policy.
 
-    def _charge_and_apply_modifies(self, modifies: list[tuple[Row, Row]]) -> None:
+        Returns the **inverse delta** (O(|delta|)): applying it restores
+        the pre-delta contents exactly — the engine layer's rollback
+        primitive. Application is atomic: if any row fails validation
+        (absent tuple, key violation), every row already applied is undone
+        (uncharged) before the error propagates, so the relation is never
+        left mid-delta.
+        """
+        applied: list[tuple[Row, int]] = []
+        try:
+            self._charge_and_apply_modifies(delta.modifies, applied)
+            self._charge_and_apply(delta.inserts, sign=+1, applied=applied)
+            self._charge_and_apply(delta.deletes, sign=-1, applied=applied)
+        except StorageError:
+            with self.counter.suspended():
+                for row, count in reversed(applied):
+                    self._apply_row(row, -count)
+            raise
+        return delta.inverted()
+
+    def _charge_and_apply_modifies(
+        self, modifies: list[tuple[Row, Row]], applied: list[tuple[Row, int]] | None = None
+    ) -> None:
         if not modifies:
             return
         for index in self._indexes.values():
@@ -163,12 +181,14 @@ class StoredRelation:
                 raise StorageError(f"modify of absent tuple {old} in {self.name}")
             self.counter.charge_tuple_read(1)
             self.counter.charge_tuple_write(1)
-            self._apply_row(old, -1)
+            self._apply_row(old, -1, applied)
             validated.append(new)
         for new in validated:
-            self._apply_row(new, 1)
+            self._apply_row(new, 1, applied)
 
-    def _charge_and_apply(self, rows: Multiset, sign: int) -> None:
+    def _charge_and_apply(
+        self, rows: Multiset, sign: int, applied: list[tuple[Row, int]] | None = None
+    ) -> None:
         if not rows:
             return
         for index in self._indexes.values():
@@ -180,16 +200,25 @@ class StoredRelation:
             if sign < 0 and self._data.count(row) < count:
                 raise StorageError(f"delete of absent tuple {row} from {self.name}")
             self.counter.charge_tuple_write(count)
-            self._apply_row(row, sign * count)
+            self._apply_row(row, sign * count, applied)
 
-    def _apply_row(self, row: Row, count: int) -> None:
-        """Apply one row-count change to data, indexes, and key maps."""
+    def _apply_row(
+        self, row: Row, count: int, applied: list[tuple[Row, int]] | None = None
+    ) -> None:
+        """Apply one row-count change to data, indexes, and key maps.
+
+        Validates every candidate key *before* mutating anything, so a key
+        violation leaves the relation untouched; when ``applied`` is given,
+        the change is journaled for the caller's atomicity rollback."""
+        staged = []
         for key, getter in self._key_getters.items():
             kv = getter(row)
             key_map = self._key_maps[key]
             new_count = key_map.get(kv, 0) + count
             if new_count > 1:
                 raise StorageError(f"key {sorted(key)} violated in {self.name} by {kv}")
+            staged.append((key_map, kv, new_count))
+        for key_map, kv, new_count in staged:
             if new_count <= 0:
                 key_map.pop(kv, None)
             else:
@@ -202,6 +231,8 @@ class StoredRelation:
             counts[row] = new
         for index in self._indexes.values():
             index.add(row, count)
+        if applied is not None:
+            applied.append((row, count))
 
     def __repr__(self) -> str:
         return f"<StoredRelation {self.name}: {self.row_count} rows, {len(self._indexes)} indexes>"

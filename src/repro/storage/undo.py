@@ -1,0 +1,52 @@
+"""Logical undo: per-transaction journals of inverse deltas.
+
+:meth:`StoredRelation.apply_delta` returns the inverse of every delta it
+applies (O(|delta|)); an :class:`UndoLog` collects those inverses in
+application order so a whole transaction — base-relation updates plus all
+materialized-view updates — can be rolled back exactly. Rollback applies
+the inverses in reverse order with the I/O counter suspended: undoing work
+is bookkeeping, not priced maintenance, so it never pollutes the paper's
+cost accounting.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ivm.delta import Delta
+    from repro.storage.relation import StoredRelation
+
+
+class UndoLog:
+    """An ordered journal of (relation, inverse delta) rollback entries."""
+
+    def __init__(self) -> None:
+        self._entries: list[tuple["StoredRelation", "Delta"]] = []
+
+    def record(self, relation: "StoredRelation", inverse: "Delta") -> None:
+        """Journal one applied delta's inverse (in application order)."""
+        if not inverse.is_empty:
+            self._entries.append((relation, inverse))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> tuple[tuple["StoredRelation", "Delta"], ...]:
+        return tuple(self._entries)
+
+    def rollback(self) -> None:
+        """Undo every journaled delta, newest first, uncharged.
+
+        After rollback the log is empty; rolling back an empty log is a
+        no-op, so the call is idempotent.
+        """
+        while self._entries:
+            relation, inverse = self._entries.pop()
+            with relation.counter.suspended():
+                relation.apply_delta(inverse)
+
+    def clear(self) -> None:
+        """Drop the journal without undoing (after a successful commit)."""
+        self._entries.clear()

@@ -9,9 +9,23 @@ from repro.workload.transactions import (
 )
 
 __all__ = [
+    "StreamReport",
     "Transaction",
     "TransactionType",
     "UpdateSpec",
     "modify_txn",
     "paper_transactions",
+    "run_transactions",
 ]
+
+_RUNNER = {"StreamReport", "run_transactions"}
+
+
+def __getattr__(name: str):
+    # The runner sits above the engine layer (which imports this package's
+    # transactions module), so it is loaded lazily to keep imports acyclic.
+    if name in _RUNNER:
+        from repro.workload import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

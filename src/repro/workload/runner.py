@@ -1,0 +1,103 @@
+"""Drive a transaction stream through the transactional engine.
+
+Benchmarks, examples, and the CLI all used to hand-roll the same loop:
+apply each transaction, diff the I/O counter, tally violations. The
+:func:`run_transactions` runner replaces that wiring — it commits every
+transaction through one :class:`~repro.engine.engine.Engine` (so the
+active :class:`~repro.engine.policy.MaintenancePolicy` decides immediate
+vs. batched maintenance, and enforcement rejects violators atomically)
+and returns a :class:`StreamReport` of what happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.storage.pager import IOStats
+from repro.workload.transactions import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.engine.engine import Engine, TransactionResult
+
+
+@dataclass
+class StreamReport:
+    """What happened to a stream of transactions committed via the engine."""
+
+    submitted: int = 0
+    committed: int = 0
+    deferred: int = 0
+    rejected: int = 0
+    io: IOStats = field(default_factory=IOStats)
+    new_violations: dict[str, int] = field(default_factory=dict)
+    cleared_violations: dict[str, int] = field(default_factory=dict)
+    results: list["TransactionResult"] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        pieces = [
+            f"{self.submitted} submitted",
+            f"{self.committed} committed",
+            f"{self.rejected} rejected",
+            f"{self.io.total} page I/Os",
+        ]
+        if self.deferred:
+            pieces.insert(3, f"{self.deferred} still queued")
+        if self.new_violations:
+            entered = sum(self.new_violations.values())
+            pieces.append(f"{entered} violations entered")
+        return ", ".join(pieces)
+
+
+def run_transactions(
+    engine: "Engine",
+    txns: Iterable[Transaction],
+    flush: bool = True,
+    keep_results: bool = False,
+    on_result: "Callable[[TransactionResult], None] | None" = None,
+) -> StreamReport:
+    """Commit every transaction in ``txns`` through ``engine``.
+
+    A transaction the :class:`~repro.engine.policy.EnforcingPolicy`
+    rejects (rolled back atomically) counts as ``rejected``. Under a
+    :class:`~repro.engine.policy.DeferredPolicy` commits queue until a
+    batch flush; the final ``flush`` (enabled by default) applies the tail
+    batch, and anything still queued afterwards is reported ``deferred``.
+    I/O and violation tallies fold in every applied result, batch flushes
+    included. ``keep_results`` retains each :class:`TransactionResult`;
+    ``on_result`` is called per engine result (e.g. for adaptive hooks).
+    """
+    from repro.constraints.assertions import AssertionViolation
+
+    report = StreamReport()
+    for txn in txns:
+        report.submitted += 1
+        try:
+            result = engine.execute(txn)
+        except AssertionViolation:
+            report.rejected += 1
+            continue
+        _fold(report, result, keep_results)
+        if on_result is not None:
+            on_result(result)
+    if flush:
+        flushed = engine.flush()
+        if flushed is not None:
+            _fold(report, flushed, keep_results)
+    report.deferred = engine.pending
+    report.committed = report.submitted - report.rejected - report.deferred
+    return report
+
+
+def _fold(report: StreamReport, result: "TransactionResult", keep: bool) -> None:
+    report.io = report.io + result.io
+    for name, rows in result.new_violations.items():
+        report.new_violations[name] = (
+            report.new_violations.get(name, 0) + rows.total()
+        )
+    for name, rows in result.cleared_violations.items():
+        report.cleared_violations[name] = (
+            report.cleared_violations.get(name, 0) + rows.total()
+        )
+    if keep:
+        report.results.append(result)

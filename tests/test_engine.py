@@ -1,0 +1,373 @@
+"""Tests for the transactional engine layer.
+
+Covers the transaction lifecycle (begin/stage/commit/rollback), inverse
+deltas and the undo log, scoped I/O attribution, the three maintenance
+policies, and atomicity of failed commits across relations and views.
+"""
+
+import pytest
+
+from repro.algebra.operators import Scan
+from repro.constraints.assertions import AssertionSystem, AssertionViolation
+from repro.core.optimizer import evaluate_view_set
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import build_dag
+from repro.engine import (
+    DeferredPolicy,
+    Engine,
+    EngineError,
+    EnforcingPolicy,
+    UndoLog,
+)
+from repro.ivm.delta import Delta
+from repro.ivm.maintainer import ViewMaintainer
+from repro.storage.relation import StorageError
+from repro.storage.statistics import Catalog
+from repro.workload.paperdb import DEPT_SCHEMA, problem_dept_tree
+from repro.workload.transactions import Transaction, paper_transactions
+
+DEPT_CONSTRAINT = """
+CREATE ASSERTION DeptConstraint CHECK (NOT EXISTS (
+    SELECT Dept.DName FROM Emp, Dept
+    WHERE Dept.DName = Emp.DName
+    GROUPBY Dept.DName, Budget
+    HAVING SUM(Salary) > Budget))
+"""
+
+
+def build_maintainer(db):
+    dag = build_dag(problem_dept_tree())
+    estimator = DagEstimator(dag.memo, Catalog.from_database(db))
+    cost_model = PageIOCostModel(dag.memo, estimator, CostConfig(root_group=dag.root))
+    txns = paper_transactions()
+    sumofsals = next(
+        g.id for g in dag.memo.groups() if set(g.schema.names) == {"DName", "SalSum"}
+    )
+    marking = frozenset({dag.root, dag.memo.find(sumofsals)})
+    ev = evaluate_view_set(dag.memo, marking, txns, cost_model, estimator)
+    maintainer = ViewMaintainer(
+        db,
+        dag,
+        marking,
+        txns,
+        {name: plan.track for name, plan in ev.per_txn.items()},
+        estimator,
+        cost_model,
+    )
+    maintainer.materialize()
+    return maintainer
+
+
+@pytest.fixture
+def engine(small_paper_db):
+    return Engine(build_maintainer(small_paper_db))
+
+
+def emp_raise(db, index=0, amount=5):
+    old = sorted(db.relation("Emp").contents().rows())[index]
+    new = (old[0], old[1], old[2] + amount)
+    return old, new
+
+
+def snapshot(engine):
+    """Bit-exact state of every base relation and materialized view."""
+    state = {name: engine.db.relation(name).contents() for name in ("Emp", "Dept")}
+    for gid in sorted(engine.maintainer.marking):
+        if not engine.maintainer.memo.group(gid).is_leaf:
+            state[f"view:{gid}"] = engine.maintainer.view_contents(gid)
+    return state
+
+
+class TestDeltaInversion:
+    def test_inverted_swaps_and_reverses(self):
+        delta = Delta(
+            inserts=Delta.insertion([(1,)]).inserts,
+            deletes=Delta.deletion([(2,)]).deletes,
+            modifies=[((3, 0), (3, 9))],
+        )
+        inv = delta.inverted()
+        assert inv.inserts.count((2,)) == 1
+        assert inv.deletes.count((1,)) == 1
+        assert inv.modifies == [((3, 9), (3, 0))]
+
+    def test_double_inversion_is_identity(self):
+        delta = Delta.modification([((1, 2), (1, 3))])
+        again = delta.inverted().inverted()
+        assert again.modifies == delta.modifies
+        assert again.inserts == delta.inserts
+        assert again.deletes == delta.deletes
+
+    def test_apply_delta_returns_inverse(self, small_paper_db):
+        rel = small_paper_db.relation("Dept")
+        before = rel.contents()
+        row = sorted(before.rows())[0]
+        new = (row[0], row[1], row[2] + 7)
+        inverse = rel.apply_delta(Delta.modification([(row, new)]))
+        assert rel.contents() != before
+        rel.apply_delta(inverse)
+        assert rel.contents() == before
+
+
+class TestUndoLog:
+    def test_rollback_restores_base_and_views(self, engine):
+        before = snapshot(engine)
+        old, new = emp_raise(engine.db)
+        undo = UndoLog()
+        engine.apply_with_undo(
+            Transaction(">Emp", {"Emp": Delta.modification([(old, new)])}), undo
+        )
+        assert snapshot(engine) != before
+        assert len(undo) > 0
+        undo.rollback()
+        assert snapshot(engine) == before
+        assert len(undo) == 0
+        engine.maintainer.verify()
+
+    def test_rollback_is_uncharged(self, engine):
+        old, new = emp_raise(engine.db)
+        undo = UndoLog()
+        engine.apply_with_undo(
+            Transaction(">Emp", {"Emp": Delta.modification([(old, new)])}), undo
+        )
+        spent = engine.db.counter.total
+        undo.rollback()
+        assert engine.db.counter.total == spent
+
+    def test_empty_deltas_not_recorded(self, engine):
+        undo = UndoLog()
+        undo.record(engine.db.relation("Emp"), Delta())
+        assert len(undo) == 0
+
+
+class TestScopedCounter:
+    def test_scoped_measures_only_the_block(self, small_paper_db):
+        counter = small_paper_db.counter
+        counter.charge_tuple_read(10)
+        with counter.scoped() as scope:
+            counter.charge_tuple_read(3)
+            counter.charge_index_write(2)
+            assert scope.so_far.total == 5
+        assert scope.stats.tuple_reads == 3
+        assert scope.stats.index_writes == 2
+        assert scope.stats.total == 5
+        assert counter.total == 15
+
+    def test_scoped_keeps_charging_enabled(self, small_paper_db):
+        counter = small_paper_db.counter
+        with counter.scoped() as outer:
+            counter.charge_tuple_write(1)
+            with counter.scoped() as inner:
+                counter.charge_tuple_write(2)
+            with counter.suspended():
+                counter.charge_tuple_write(100)
+        assert inner.stats.total == 2
+        assert outer.stats.total == 3
+
+
+class TestLifecycle:
+    def test_begin_stage_commit(self, engine):
+        old, new = emp_raise(engine.db)
+        txn = engine.begin("raise")
+        txn.modify("Emp", [(old, new)])
+        result = txn.commit()
+        assert result.committed and not result.deferred
+        assert result.io.total > 0
+        assert txn.state == "committed"
+        assert new in engine.db.relation("Emp").contents()
+        engine.maintainer.verify()
+
+    def test_stage_after_commit_raises(self, engine):
+        txn = engine.begin()
+        txn.commit()
+        with pytest.raises(EngineError):
+            txn.insert("Emp", [("x", "y", 1)])
+        with pytest.raises(EngineError):
+            txn.commit()
+
+    def test_rollback_discards_staged(self, engine):
+        before = snapshot(engine)
+        old, new = emp_raise(engine.db)
+        txn = engine.begin().modify("Emp", [(old, new)])
+        txn.rollback()
+        assert txn.state == "rolled back"
+        assert snapshot(engine) == before
+
+    def test_stage_unknown_relation(self, engine):
+        with pytest.raises(StorageError):
+            engine.begin().insert("Nope", [(1,)])
+
+    def test_context_manager_commits(self, engine):
+        old, new = emp_raise(engine.db)
+        with engine.begin() as txn:
+            txn.modify("Emp", [(old, new)])
+        assert txn.state == "committed"
+        assert new in engine.db.relation("Emp").contents()
+
+    def test_context_manager_discards_on_error(self, engine):
+        before = snapshot(engine)
+        old, new = emp_raise(engine.db)
+        with pytest.raises(RuntimeError):
+            with engine.begin() as txn:
+                txn.modify("Emp", [(old, new)])
+                raise RuntimeError("abort")
+        assert txn.state == "rolled back"
+        assert snapshot(engine) == before
+
+    def test_staged_deltas_compose(self, engine):
+        row = ("emp_new", "dept00000", 10)
+        txn = engine.begin().insert("Emp", [row]).delete("Emp", [row])
+        assert txn.staged_transaction().deltas == {}
+        result = txn.commit()
+        assert result.committed and result.io.total == 0
+
+    def test_txn_names_are_unique(self, engine):
+        assert engine.begin().name != engine.begin().name
+
+
+class TestImmediatePolicy:
+    def test_commit_matches_direct_apply(self, small_paper_db):
+        """Engine commit I/O equals a direct maintainer.apply, exactly."""
+        import copy
+
+        db2 = copy.deepcopy(small_paper_db)
+        engine = Engine(build_maintainer(small_paper_db))
+        maintainer2 = build_maintainer(db2)
+        old, new = emp_raise(engine.db)
+        result = engine.execute(
+            Transaction(">Emp", {"Emp": Delta.modification([(old, new)])})
+        )
+        before = db2.counter.total
+        maintainer2.apply(
+            Transaction(">Emp", {"Emp": Delta.modification([(old, new)])})
+        )
+        direct = db2.counter.total - before
+        assert result.io.total == direct
+
+    def test_adhoc_transaction_type(self, engine):
+        """Undeclared types route through the ad-hoc maintainer path."""
+        old, new = emp_raise(engine.db)
+        result = engine.execute(
+            Transaction("__shell", {"Emp": Delta.modification([(old, new)])})
+        )
+        assert result.committed
+        assert "__shell" not in engine.maintainer.txn_types
+        engine.maintainer.verify()
+
+    def test_flush_is_noop(self, engine):
+        assert engine.flush() is None
+        assert engine.pending == 0
+
+    def test_failed_commit_rolls_back_all_relations(self, engine):
+        """A key violation in the second relation of a transaction undoes
+        the first relation's already-applied delta."""
+        before = snapshot(engine)
+        dept = sorted(engine.db.relation("Dept").contents().rows())[0]
+        dupe = sorted(engine.db.relation("Emp").contents().rows())[0]
+        txn = Transaction(
+            "bad",
+            {
+                "Dept": Delta.modification(
+                    [(dept, (dept[0], dept[1], dept[2] + 1))]
+                ),
+                # Duplicate EName: violates Emp's candidate key.
+                "Emp": Delta.insertion([(dupe[0], dupe[1], 99)]),
+            },
+        )
+        with pytest.raises(StorageError):
+            engine.execute(txn)
+        # State is restored bit-exactly; the I/O of the attempted work
+        # stays charged (pages really were touched), the undo is free.
+        assert snapshot(engine) == before
+        engine.maintainer.verify()
+
+
+class TestSelect:
+    def test_select_charges_base_scans(self, engine):
+        rows, io = engine.select(Scan("Dept", DEPT_SCHEMA))
+        assert rows == engine.db.relation("Dept").contents()
+        assert io.total == engine.db.relation("Dept").row_count
+        assert io.tuple_reads == io.total
+
+    def test_select_accrues_on_engine_counter(self, engine):
+        before = engine.io_snapshot().total
+        _, io = engine.select(Scan("Dept", DEPT_SCHEMA))
+        assert engine.io_snapshot().total == before + io.total
+
+
+class TestDeferredPolicy:
+    def test_commit_defers_until_flush(self, small_paper_db):
+        engine = Engine(build_maintainer(small_paper_db), policy=DeferredPolicy())
+        before = engine.db.relation("Emp").contents()
+        old, new = emp_raise(engine.db)
+        result = engine.execute(
+            Transaction(">Emp", {"Emp": Delta.modification([(old, new)])})
+        )
+        assert result.deferred and result.io.total == 0
+        assert engine.pending == 1
+        assert engine.db.relation("Emp").contents() == before
+        flushed = engine.flush()
+        assert flushed is not None and not flushed.deferred
+        assert flushed.io.total > 0
+        assert engine.pending == 0
+        assert new in engine.db.relation("Emp").contents()
+        engine.maintainer.verify()
+
+    def test_auto_flush_at_batch_size(self, small_paper_db):
+        engine = Engine(
+            build_maintainer(small_paper_db), policy=DeferredPolicy(batch_size=2)
+        )
+        old, new = emp_raise(engine.db)
+        first = engine.execute(
+            Transaction(">Emp", {"Emp": Delta.modification([(old, new)])})
+        )
+        assert first.deferred
+        second = engine.execute(
+            Transaction(">Emp", {"Emp": Delta.modification([(new, (new[0], new[1], new[2] + 1))])})
+        )
+        assert not second.deferred  # the filling commit flushes the batch
+        assert second.txn.type_name.startswith("__batch")
+        assert engine.pending == 0
+        engine.maintainer.verify()
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(EngineError):
+            DeferredPolicy(batch_size=0)
+
+
+class TestEnforcingPolicy:
+    def test_requires_assertion_roots(self, small_paper_db):
+        with pytest.raises(EngineError):
+            Engine(build_maintainer(small_paper_db), policy=EnforcingPolicy())
+
+    def test_violation_rolled_back_atomically(self, small_paper_db):
+        system = AssertionSystem(
+            small_paper_db, [DEPT_CONSTRAINT], paper_transactions(), enforce=True
+        )
+        engine = system.engine
+        before = snapshot(engine)
+        dept = sorted(small_paper_db.relation("Dept").contents().rows())[0]
+        txn = Transaction(
+            ">Dept",
+            {"Dept": Delta.modification([(dept, (dept[0], dept[1], 1))])},
+        )
+        with pytest.raises(AssertionViolation) as info:
+            engine.execute(txn)
+        assert info.value.assertion == "DeptConstraint"
+        assert snapshot(engine) == before
+        assert system.all_satisfied()
+        system.maintainer.verify()
+
+    def test_clean_txn_commits(self, small_paper_db):
+        system = AssertionSystem(
+            small_paper_db, [DEPT_CONSTRAINT], paper_transactions(), enforce=True
+        )
+        dept = sorted(small_paper_db.relation("Dept").contents().rows())[0]
+        result = system.engine.execute(
+            Transaction(
+                ">Dept",
+                {"Dept": Delta.modification([(dept, (dept[0], dept[1], 100_000))])},
+            )
+        )
+        assert result.committed and result.ok

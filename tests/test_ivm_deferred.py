@@ -68,6 +68,58 @@ class TestComposeDeltas:
             expected.update(d.net())
         assert composed.net() == expected
 
+    def test_multi_row_insert_then_delete_cancels_fully(self):
+        """Rows inserted in one transaction and deleted across later ones
+        vanish entirely — the composed batch is empty, not a no-op pair."""
+        deltas = [
+            Delta.insertion([(5, 50), (6, 60)]),
+            Delta.modification([((5, 50), (5, 55))]),
+            Delta.deletion([(5, 55), (6, 60)]),
+        ]
+        assert compose_deltas(KEYED, deltas).is_empty
+
+    def test_delete_then_insert_repairs_to_modification(self):
+        """A delete and a later insert sharing the candidate key become one
+        modification, so storage charges read-modify-write, not two ops."""
+        composed = compose_deltas(
+            KEYED, [Delta.deletion([(1, 10)]), Delta.insertion([(1, 99)])]
+        )
+        assert composed.modifies == [((1, 10), (1, 99))]
+        assert not composed.inserts and not composed.deletes
+
+    def test_delete_then_insert_different_keys_stay_separate(self):
+        composed = compose_deltas(
+            KEYED, [Delta.deletion([(1, 10)]), Delta.insertion([(2, 99)])]
+        )
+        assert not composed.modifies
+        assert composed.deletes.count((1, 10)) == 1
+        assert composed.inserts.count((2, 99)) == 1
+
+    def test_no_repairing_without_candidate_key(self):
+        keyless = Schema.of(("K", DataType.INT), ("V", DataType.INT))
+        composed = compose_deltas(
+            keyless, [Delta.deletion([(1, 10)]), Delta.insertion([(1, 99)])]
+        )
+        assert not composed.modifies
+        assert composed.deletes.count((1, 10)) == 1
+        assert composed.inserts.count((1, 99)) == 1
+
+    def test_three_transaction_composition(self):
+        """Composition is associative across ≥3 transactions: the pairwise
+        fold equals composing the whole sequence at once."""
+        t1 = [Delta.insertion([(7, 1)]), Delta.modification([((3, 30), (3, 31))])]
+        t2 = [Delta.modification([((7, 1), (7, 2))]), Delta.deletion([(4, 40)])]
+        t3 = [Delta.modification([((7, 2), (7, 3))]), Delta.insertion([(4, 41)])]
+        sequence = [*t1, *t2, *t3]
+        composed = compose_deltas(KEYED, sequence)
+        assert composed.inserts.count((7, 3)) == 1
+        assert ((3, 30), (3, 31)) in composed.modifies
+        assert ((4, 40), (4, 41)) in composed.modifies
+        two_step = compose_deltas(
+            KEYED, [compose_deltas(KEYED, [*t1, *t2]), *t3]
+        )
+        assert two_step.net() == composed.net()
+
 
 @pytest.fixture
 def deferred(small_paper_db):

@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.core",
     "repro.cost",
     "repro.dag",
+    "repro.engine",
     "repro.ivm",
     "repro.sql",
     "repro.storage",
