@@ -70,6 +70,15 @@ from repro.engine import (
 )
 from repro.ivm.delta import Delta
 from repro.ivm.maintainer import ViewMaintainer
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    explain,
+    explain_analyze,
+    get_metrics,
+    trace_to_json,
+    validate_trace,
+)
 from repro.shell import ShellSession
 from repro.sql.dml import execute_dml_text
 from repro.sql.translate import translate_sql
@@ -100,6 +109,7 @@ __all__ = [
     "GroupAggregate",
     "ImmediatePolicy",
     "MaintenancePolicy",
+    "MetricsRegistry",
     "Join",
     "Multiset",
     "MultiViewProblem",
@@ -112,6 +122,7 @@ __all__ = [
     "Select",
     "ShellSession",
     "TableStats",
+    "Tracer",
     "Transaction",
     "TransactionResult",
     "TransactionType",
@@ -128,6 +139,9 @@ __all__ = [
     "evaluate",
     "evaluate_view_set",
     "execute_dml_text",
+    "explain",
+    "explain_analyze",
+    "get_metrics",
     "greedy_view_set",
     "heuristic_single_tree",
     "heuristic_single_view_set",
@@ -138,5 +152,7 @@ __all__ = [
     "space_time_curve",
     "render_dag",
     "render_tree",
+    "trace_to_json",
     "translate_sql",
+    "validate_trace",
 ]

@@ -175,6 +175,7 @@ def run_stream(
     n_depts: int = 50,
     emps_per_dept: int = 10,
     seed: int = 0,
+    trace_path: str | None = None,
 ) -> str:
     """Commit a random paper-workload stream through the engine.
 
@@ -183,6 +184,11 @@ def run_stream(
     policy, drives ``n_txns`` random >Emp / >Dept modifications through
     :func:`~repro.workload.runner.run_transactions`, and returns the
     report text.
+
+    ``trace_path`` attaches a :class:`~repro.obs.trace.Tracer` for the run
+    and writes the span tree as JSON to that path. The report text is
+    byte-identical with and without tracing (CI asserts this) — tracing
+    observes the commits, it never changes them.
     """
     import random
 
@@ -251,7 +257,21 @@ def run_stream(
                 rel = "Emp" if rng.random() < 0.5 else "Dept"
                 yield random_modify(db, f">{rel}", rel, column[rel], rng)
 
+    tracer = None
+    if trace_path is not None:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        engine.set_tracer(tracer)
     report = run_transactions(engine, stream())
+    if tracer is not None:
+        import json
+
+        from repro.obs.trace import trace_to_json
+
+        with open(trace_path, "w") as f:
+            json.dump(trace_to_json(tracer), f, indent=2)
+            f.write("\n")
     lines = [
         f"policy={policy} n_txns={n_txns} seed={seed}",
         str(report),
@@ -270,8 +290,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             n_txns=args.n_txns,
             batch_size=args.batch_size,
             seed=args.seed,
+            trace_path=args.trace,
         )
     )
+    if args.trace:
+        print(f"trace written to {args.trace}", file=sys.stderr)
     return 0
 
 
@@ -359,6 +382,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="flush threshold for --policy deferred",
     )
     run.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    run.add_argument(
+        "--trace", metavar="OUT.json", default=None,
+        help="record a span trace of the run and write it as JSON",
+    )
     run.set_defaults(func=_cmd_run)
     shell = sub.add_parser(
         "shell", help="interactive SQL shell over a maintained database"

@@ -20,14 +20,18 @@ from repro.dag.queries import derive_queries
 from repro.workload.transactions import TransactionType
 
 
-def describe_marking(dag: ViewDag, marking: frozenset[int]) -> list[str]:
+def describe_marking(dag: ViewDag, marking: frozenset[int]) -> list[tuple[int, str]]:
+    """(group id, rendered line) per marked node, sorted by id.
+
+    Structured so callers (``render_report``, the observability layer's
+    ``explain``) never have to re-parse rendered text to recover ids."""
     memo = dag.memo
     roots = {memo.find(r) for r in dag.roots.values()}
     lines = []
     for gid in sorted(marking):
         group = memo.group(gid)
         role = "the view itself" if gid in roots else "auxiliary"
-        lines.append(f"N{gid} ({role}): {group.schema}")
+        lines.append((gid, f"N{gid} ({role}): {group.schema}"))
     return lines
 
 
@@ -89,9 +93,8 @@ def render_report(
             "were never costed and the chosen plans may be suboptimal."
         )
     lines.append(f"Chosen view set (weighted {result.best.weighted_cost:.2f} I/Os/txn):")
-    for line in describe_marking(dag, result.best_marking):
+    for gid, line in describe_marking(dag, result.best_marking):
         lines.append("  " + line)
-        gid = int(line.split(" ", 1)[0][1:])
         if not memo.group(gid).is_leaf:
             index = sorted(cost_model.index_columns(gid))
             if index:

@@ -27,8 +27,10 @@ from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.algebra.evaluate import evaluate
 from repro.algebra.multiset import Multiset, Row
-from repro.algebra.operators import RelExpr
+from repro.algebra.operators import RelExpr, Scan
 from repro.ivm.delta import Delta
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.storage.pager import IOStats
 from repro.storage.undo import UndoLog
 from repro.workload.transactions import Transaction
@@ -178,6 +180,8 @@ class Engine:
         maintainer: "ViewMaintainer",
         policy: "MaintenancePolicy | None" = None,
         assertion_roots: Mapping[str, int] | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         from repro.engine.policy import ImmediatePolicy
 
@@ -185,8 +189,17 @@ class Engine:
         self.db = maintainer.db
         self.assertion_roots = dict(assertion_roots or {})
         self.policy = policy if policy is not None else ImmediatePolicy()
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.tracer: "Tracer | NullTracer" = NULL_TRACER
+        self.set_tracer(tracer)
         self._txn_seq = 0
         self.policy.bind(self)
+
+    def set_tracer(self, tracer: "Tracer | NullTracer | None") -> None:
+        """Attach (or detach, with ``None``) a tracer; it is bound to this
+        engine's I/O counter so span I/O ties out to commit attribution."""
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind(self.db.counter)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -199,11 +212,57 @@ class Engine:
         """Commit a ready-made :class:`Transaction` through the policy."""
         if not any(not d.is_empty for d in txn.deltas.values()):
             return TransactionResult(txn=txn, committed=True)
-        return self.policy.commit(self, txn)
+        try:
+            result = self.policy.commit(self, txn)
+        except Exception as exc:
+            self.metrics.counter("engine.rollbacks").inc()
+            from repro.constraints.assertions import AssertionViolation
+
+            if isinstance(exc, AssertionViolation):
+                self.metrics.counter("engine.rejected").inc()
+            raise
+        self._observe(result)
+        return result
 
     def flush(self) -> TransactionResult | None:
         """Flush policy-deferred work (no-op for immediate policies)."""
-        return self.policy.flush(self)
+        try:
+            result = self.policy.flush(self)
+        except Exception as exc:
+            self.metrics.counter("engine.rollbacks").inc()
+            from repro.constraints.assertions import AssertionViolation
+
+            if isinstance(exc, AssertionViolation):
+                self.metrics.counter("engine.rejected").inc()
+            raise
+        if result is not None:
+            self._observe(result)
+        return result
+
+    def _observe(self, result: TransactionResult) -> None:
+        """Fold one policy result into the metrics registry (no page I/O)."""
+        m = self.metrics
+        if result.deferred:
+            m.counter("engine.deferrals").inc()
+            return
+        m.counter("engine.commits").inc()
+        m.observe_io(result.io)
+        m.histogram("engine.commit_io").observe(result.io.total)
+        if result.new_violations:
+            m.counter("engine.violations").inc(
+                sum(rows.total() for rows in result.new_violations.values())
+            )
+        if result.cleared_violations:
+            m.counter("engine.violations_cleared").inc(
+                sum(rows.total() for rows in result.cleared_violations.values())
+            )
+        # Refresh the compiled-plan cache's cumulative hit rate (gauges:
+        # last value wins, so folding it per commit is idempotent).
+        from repro.algebra.compile import plan_cache
+
+        pc = plan_cache()
+        if pc.hits or pc.misses:
+            m.observe_cache("plan", pc.hits, pc.misses)
 
     @property
     def pending(self) -> int:
@@ -215,13 +274,22 @@ class Engine:
     def select(self, expr: RelExpr) -> tuple[Multiset, IOStats]:
         """Evaluate a query, charged as scans of the base relations it
         reads (hash joins and aggregation are memory-resident, as in the
-        maintainer's scan accounting). Returns (rows, this query's I/O)."""
+        maintainer's scan accounting). Returns (rows, this query's I/O).
+
+        Charged per *leaf occurrence*, not per distinct relation: a
+        self-join (Emp ⋈ Emp) reads the relation once per operand under
+        the Section 3.6 model, exactly as the analytic ``scan_cost``
+        prices each scan node."""
         counter = self.db.counter
-        with counter.scoped() as scope:
-            for name in sorted(expr.base_relations()):
-                counter.charge_tuple_read(self.db.relation(name).row_count)
-            with counter.suspended():
-                result = evaluate(expr, self.db)
+        with self.tracer.span("select", expr=type(expr).__name__):
+            with counter.scoped() as scope:
+                for node in expr.walk():
+                    if isinstance(node, Scan):
+                        counter.charge_tuple_read(self.db.relation(node.name).row_count)
+                with counter.suspended():
+                    result = evaluate(expr, self.db)
+        self.metrics.counter("engine.selects").inc()
+        self.metrics.observe_io(scope.stats)
         return result, scope.stats
 
     def io_snapshot(self) -> IOStats:
@@ -235,11 +303,15 @@ class Engine:
 
         Declared transaction types use their optimizer-chosen track;
         anything else goes through the ad-hoc path (track chosen on the
-        fly from the concrete deltas).
+        fly from the concrete deltas). The engine's tracer is threaded
+        per-call (engines built by :class:`AssertionSystem` share one
+        maintainer, so the tracer cannot live on the maintainer itself).
         """
         if txn.type_name in self.maintainer.txn_types:
-            return self.maintainer.apply(txn, undo=undo)
-        return self.maintainer.apply_adhoc(txn, name=txn.type_name, undo=undo)
+            return self.maintainer.apply(txn, undo=undo, tracer=self.tracer)
+        return self.maintainer.apply_adhoc(
+            txn, name=txn.type_name, undo=undo, tracer=self.tracer
+        )
 
     def violations(
         self, view_deltas: Mapping[int, Delta]

@@ -29,18 +29,29 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.ivm.deferred import DeferredMaintainer
 
 
-def _commit_through_maintainer(engine: "Engine", txn: Transaction) -> TransactionResult:
+def _commit_through_maintainer(
+    engine: "Engine", txn: Transaction, policy_label: str = "immediate"
+) -> TransactionResult:
     """The shared commit pipeline: scoped I/O, undo journal, violation
     report. A storage error mid-apply rolls back the applied prefix before
-    propagating, so even failed commits leave a consistent state."""
+    propagating, so even failed commits leave a consistent state.
+
+    The "txn" span wraps exactly the scoped region plus the assertion
+    check, so its measured I/O equals the commit's ``TransactionResult.io``
+    — the tie-out the observability layer promises."""
+    tracer = engine.tracer
     undo = UndoLog()
-    with engine.db.counter.scoped() as scope:
-        try:
-            view_deltas = engine.apply_with_undo(txn, undo)
-        except Exception:
-            undo.rollback()
-            raise
-    new, cleared = engine.violations(view_deltas)
+    with tracer.span("txn", txn=txn.type_name, policy=policy_label) as span:
+        with engine.db.counter.scoped() as scope:
+            try:
+                view_deltas = engine.apply_with_undo(txn, undo)
+            except Exception:
+                with tracer.span("rollback", reason="storage-error"):
+                    undo.rollback()
+                raise
+            with tracer.span("assertion_check", assertions=len(engine.assertion_roots)):
+                new, cleared = engine.violations(view_deltas)
+        span.annotate(outcome="committed")
     return TransactionResult(
         txn=txn,
         committed=True,
@@ -100,20 +111,31 @@ class EnforcingPolicy(MaintenancePolicy):
     def commit(self, engine: "Engine", txn: Transaction) -> TransactionResult:
         """Apply, check assertion roots, and roll back atomically on entry
         of any violation."""
+        tracer = engine.tracer
         undo = UndoLog()
-        with engine.db.counter.scoped() as scope:
-            try:
-                view_deltas = engine.apply_with_undo(txn, undo)
-            except Exception:
-                undo.rollback()
-                raise
-        new, cleared = engine.violations(view_deltas)
-        if new:
-            undo.rollback()
-            from repro.constraints.assertions import AssertionViolation
+        with tracer.span("txn", txn=txn.type_name, policy="enforce") as span:
+            with engine.db.counter.scoped() as scope:
+                try:
+                    view_deltas = engine.apply_with_undo(txn, undo)
+                except Exception:
+                    with tracer.span("rollback", reason="storage-error"):
+                        undo.rollback()
+                    raise
+                with tracer.span(
+                    "assertion_check", assertions=len(engine.assertion_roots)
+                ):
+                    new, cleared = engine.violations(view_deltas)
+            if new:
+                # The attempted maintenance work stays charged (scope.stats
+                # already measured it); the rollback itself is uncharged.
+                with tracer.span("rollback", reason="assertion-violation"):
+                    undo.rollback()
+                from repro.constraints.assertions import AssertionViolation
 
-            name = min(new)
-            raise AssertionViolation(name, new[name])
+                name = min(new)
+                span.annotate(outcome="rejected", violation=name)
+                raise AssertionViolation(name, new[name])
+            span.annotate(outcome="committed")
         return TransactionResult(
             txn=txn,
             committed=True,
@@ -155,7 +177,8 @@ class DeferredPolicy(MaintenancePolicy):
         """Enqueue; flush (and return the applied batch result) when the
         batch is full."""
         assert self._deferred is not None, "policy used before bind()"
-        self._deferred.enqueue(txn)
+        with engine.tracer.span("defer", txn=txn.type_name):
+            self._deferred.enqueue(txn)
         if self.batch_size is not None and self._deferred.pending >= self.batch_size:
             flushed = self.flush(engine)
             if flushed is not None:
@@ -168,7 +191,7 @@ class DeferredPolicy(MaintenancePolicy):
         combined = self._deferred.compose()
         if combined is None:
             return None
-        return _commit_through_maintainer(engine, combined)
+        return _commit_through_maintainer(engine, combined, policy_label="deferred-flush")
 
     @property
     def pending(self) -> int:

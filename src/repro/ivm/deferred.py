@@ -98,7 +98,10 @@ class DeferredMaintainer:
             return None
         db = self.maintainer.db
         combined_deltas: dict[str, Delta] = {}
-        for relation in {r for t in self._queue for r in t.deltas}:
+        # Sorted iteration: the composed batch's relation order (and hence
+        # apply order and per-span I/O attribution) must not depend on
+        # PYTHONHASHSEED.
+        for relation in sorted({r for t in self._queue for r in t.deltas}):
             schema = db.relation(relation).schema
             combined_deltas[relation] = compose_deltas(
                 schema, (t.deltas.get(relation, Delta()) for t in self._queue)

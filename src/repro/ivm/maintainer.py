@@ -66,11 +66,13 @@ from repro.ivm.propagate import (
     propagate_union,
     repair_modifications,
 )
+from repro.obs.trace import NULL_TRACER
 from repro.storage.database import Database
 from repro.storage.relation import StoredRelation
 from repro.workload.transactions import Transaction, TransactionType
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.trace import NullTracer, Tracer
     from repro.storage.undo import UndoLog
 
 
@@ -121,6 +123,9 @@ class ViewMaintainer:
         self._views: dict[int, StoredRelation] = {}
         self._agg_specs: dict[int, tuple[GroupAggregate, int]] = {}  # (template, input gid)
         self._self_maintained: set[int] = set()
+        # (txn_type, track) of the most recent apply — what explain_analyze
+        # renders, surviving apply_adhoc's transient type registration.
+        self.last_plan: tuple[TransactionType, UpdateTrack] | None = None
 
     # -- materialization ---------------------------------------------------------
 
@@ -423,6 +428,7 @@ class ViewMaintainer:
         txn: Transaction,
         name: str | None = None,
         undo: "UndoLog | None" = None,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> dict[int, Delta]:
         """Apply a transaction whose type was not declared up front.
 
@@ -459,23 +465,34 @@ class ViewMaintainer:
         self.tracks[name] = track
         adhoc = Transaction(name, dict(txn.deltas))
         try:
-            return self.apply(adhoc, undo=undo)
+            return self.apply(adhoc, undo=undo, tracer=tracer)
         finally:
             self.txn_types.pop(name, None)
             self.tracks.pop(name, None)
 
-    def apply(self, txn: Transaction, undo: "UndoLog | None" = None) -> dict[int, Delta]:
+    def apply(
+        self,
+        txn: Transaction,
+        undo: "UndoLog | None" = None,
+        tracer: "Tracer | NullTracer | None" = None,
+    ) -> dict[int, Delta]:
         """Process one transaction: compute all view deltas against the old
         state, then apply base and view updates. Returns the view deltas.
 
         When an :class:`~repro.storage.undo.UndoLog` is passed, every
         applied delta's inverse is journaled in application order, so the
         caller (the engine layer) can roll the whole transaction back —
-        including any prefix applied before a storage error."""
+        including any prefix applied before a storage error.
+
+        ``tracer`` (default: the no-op tracer) records one "track_op" span
+        per propagation step, one "base_apply" per base relation and one
+        "view_apply" per marked view, each carrying its scoped I/O."""
+        tracer = tracer if tracer is not None else NULL_TRACER
         txn_type = self.txn_types.get(txn.type_name)
         if txn_type is None:
             raise MaintenanceError(f"unknown transaction type {txn.type_name!r}")
         track = self.tracks.get(txn.type_name, {})
+        self.last_plan = (txn_type, dict(track))
         self._self_maintained.clear()
         deltas: dict[int, Delta] = {}
         for rel, delta in txn.deltas.items():
@@ -484,22 +501,26 @@ class ViewMaintainer:
             deltas[self.memo.leaf_group_id(rel)] = delta
 
         for gid in self._topological(track):
-            deltas[gid] = self._propagate_op(gid, track[gid], deltas, txn_type)
+            op = track[gid]
+            with tracer.span("track_op", node=gid, op=op.id):
+                deltas[gid] = self._propagate_op(gid, op, deltas, txn_type, tracer)
 
         for rel, delta in txn.deltas.items():
             relation = self.db.relation(rel)
-            if self.charge_base_updates:
-                inverse = relation.apply_delta(delta)
-            else:
-                with self.db.counter.suspended():
+            with tracer.span("base_apply", relation=rel):
+                if self.charge_base_updates:
                     inverse = relation.apply_delta(delta)
+                else:
+                    with self.db.counter.suspended():
+                        inverse = relation.apply_delta(delta)
             if undo is not None:
                 undo.record(relation, inverse)
         for gid in sorted(self.marking):
             delta = deltas.get(gid)
             if delta is None or delta.is_empty:
                 continue
-            self._apply_view_delta(gid, delta, undo)
+            with tracer.span("view_apply", node=gid):
+                self._apply_view_delta(gid, delta, undo)
         return {g: d for g, d in deltas.items() if g in self.marking}
 
     def _topological(self, track: UpdateTrack) -> list[int]:
@@ -524,11 +545,14 @@ class ViewMaintainer:
         op: OperationNode,
         deltas: Mapping[int, Delta],
         txn_type: TransactionType,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
     ) -> Delta:
         template = op.template
         children = [self.memo.find(c) for c in op.child_ids]
         child_deltas = [deltas.get(c) for c in children]
-        result = self._propagate_template(gid, template, children, child_deltas, txn_type)
+        result = self._propagate_template(
+            gid, template, children, child_deltas, txn_type, tracer
+        )
         if op.projection is not None:
             project = Project(template, tuple((n, Col(n)) for n in op.projection))
             result = propagate_project(project, result)
@@ -542,6 +566,7 @@ class ViewMaintainer:
         children: list[int],
         child_deltas: list[Delta | None],
         txn_type: TransactionType,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
     ) -> Delta:
         if isinstance(template, Select):
             return propagate_select(template, child_deltas[0] or Delta())
@@ -557,11 +582,12 @@ class ViewMaintainer:
             if buckets is not None:
                 fetch_right.buckets = buckets
             return propagate_join(
-                template, child_deltas[0], child_deltas[1], fetch_left, fetch_right
+                template, child_deltas[0], child_deltas[1], fetch_left, fetch_right,
+                tracer=tracer,
             )
         if isinstance(template, GroupAggregate):
             return self._propagate_aggregate(
-                gid, template, children[0], child_deltas[0] or Delta(), txn_type
+                gid, template, children[0], child_deltas[0] or Delta(), txn_type, tracer
             )
         if isinstance(template, DuplicateElim):
             delta = child_deltas[0] or Delta()
@@ -641,6 +667,7 @@ class ViewMaintainer:
         input_gid: int,
         delta: Delta,
         txn_type: TransactionType,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
     ) -> Delta:
         est_delta = self.estimator.delta(input_gid, txn_type)
         complete = est_delta is not None and est_delta.is_complete_on(template.group_by)
@@ -667,7 +694,7 @@ class ViewMaintainer:
             reduced_keys = {tuple(k[p] for p in reduced_positions) for k in keys}
             return self.fetch(input_gid, frozenset(reduced), reduced_keys)
 
-        return propagate_aggregate_recompute(template, delta, fetch_group)
+        return propagate_aggregate_recompute(template, delta, fetch_group, tracer=tracer)
 
     @staticmethod
     def _delta_modified_columns(template: GroupAggregate, delta: Delta) -> frozenset[str]:

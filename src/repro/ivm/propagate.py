@@ -38,6 +38,7 @@ from repro.algebra.operators import (
 )
 from repro.algebra.schema import Schema
 from repro.ivm.delta import Delta
+from repro.obs.trace import NULL_TRACER
 
 # A fetch callback: given a set of key values over fixed columns, return all
 # matching rows of the *old* state of some relation, as a multiset.
@@ -175,17 +176,21 @@ def propagate_join(
     right_delta: Delta | None,
     fetch_left: Fetch | None,
     fetch_right: Fetch | None,
+    tracer=None,
 ) -> Delta:
     """Δ(L ⋈ R) = ΔL ⋈ R_old  +  L_new ⋈ ΔR   (counting form).
 
     ``fetch_left`` / ``fetch_right`` answer semijoin queries on the old
     states (the paper's Q2Re/Q5Ld-style queries), keyed by the join columns.
     A fetch is only invoked when the corresponding side has a delta, so an
-    unaffected side never requires one.
+    unaffected side never requires one. ``tracer`` records one "fetch" span
+    per invoked fetch (I/O attributed to the probed side).
     """
     left_net = left_delta.net() if left_delta is not None else Multiset()
     right_net = right_delta.net() if right_delta is not None else Multiset()
-    out_net = propagate_join_net(expr, left_net, right_net, fetch_left, fetch_right)
+    out_net = propagate_join_net(
+        expr, left_net, right_net, fetch_left, fetch_right, tracer=tracer
+    )
     return repair_modifications(expr.schema, Delta.from_net(out_net))
 
 
@@ -195,6 +200,7 @@ def propagate_join_net(
     right_net: Multiset,
     fetch_left: Fetch | None,
     fetch_right: Fetch | None,
+    tracer=None,
 ) -> Multiset:
     """Net-to-net core of :func:`propagate_join`.
 
@@ -205,6 +211,7 @@ def propagate_join_net(
     semantically invisible because the next level's ``net()`` flattens it
     right back.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     shared = expr.join_columns
     left_schema, right_schema = expr.left.schema, expr.right.schema
     left_idx = [left_schema.index_of(c) for c in shared]
@@ -228,16 +235,20 @@ def propagate_join_net(
         # exposes ``.buckets``; the join then probes the index's own hash
         # layout instead of re-building one. Same I/O charges either way.
         bucket_fetch = getattr(fetch_right, "buckets", None)
-        if bucket_fetch is not None:
-            left_part = apply_join_fetched(expr, left_net, bucket_fetch(keys))
-        else:
-            right_old = fetch_right(keys)
-            left_part = apply_join(expr, left_net, right_old)
+        with tracer.span(
+            "fetch", side="R", keys=len(keys), bucketed=bucket_fetch is not None
+        ):
+            if bucket_fetch is not None:
+                left_part = apply_join_fetched(expr, left_net, bucket_fetch(keys))
+            else:
+                right_old = fetch_right(keys)
+                left_part = apply_join(expr, left_net, right_old)
     if right_net:
         if fetch_left is None:
             raise PropagationError("right delta requires a fetch on the left input")
         keys = key_set(right_net, [right_schema.index_of(c) for c in shared])
-        left_old = fetch_left(keys)
+        with tracer.span("fetch", side="L", keys=len(keys), bucketed=False):
+            left_old = fetch_left(keys)
         # L_new = L_old + ΔL restricted to the touched keys.
         left_key = tuple_getter(left_idx)
         left_new = left_old.copy()
@@ -270,14 +281,16 @@ def affected_group_keys(expr: GroupAggregate, delta: Delta) -> set[tuple[Any, ..
 
 
 def propagate_aggregate_recompute(
-    expr: GroupAggregate, delta: Delta, fetch_group: Fetch
+    expr: GroupAggregate, delta: Delta, fetch_group: Fetch, tracer=None
 ) -> Delta:
     """γ by re-computation: fetch each affected group's old input rows (the
     paper's Q4e-style query), compute old and new aggregate rows."""
     keys = affected_group_keys(expr, delta)
     if not keys:
         return Delta()
-    old_rows = fetch_group(keys)
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span("fetch", side="input", keys=len(keys), bucketed=False):
+        old_rows = fetch_group(keys)
     return _aggregate_delta_from_states(expr, old_rows, delta, keys)
 
 

@@ -10,19 +10,31 @@ accepts:
   and any assertion violations the statement introduces or clears;
 * meta commands: ``\\views`` (materialized views and their contents
   summary), ``\\plan`` (the maintenance plan), ``\\io`` (cumulative I/O),
-  ``\\check`` (current violations), ``\\help``, ``\\quit``.
+  ``\\check`` (current violations), ``\\explain`` (the update track with
+  estimated costs), ``\\profile`` (run a DML statement under EXPLAIN
+  ANALYZE), ``\\metrics`` (engine metrics), ``\\help``, ``\\quit``.
 
 :class:`ShellSession` is importable and scriptable — the REPL is a thin
 loop over ``execute``. All reads and writes route through the
 transactional :class:`~repro.engine.engine.Engine`, so every statement's
 page I/O is attributed to it (``io_cost`` on the result).
+
+Error surface: an :class:`AssertionViolation` from an enforcing session is
+reported as a rejection (the transaction was rolled back), expected
+engine/SQL errors render as ``error:``, and anything else renders as
+``internal error:`` — set ``REPRO_SHELL_DEBUG=1`` to re-raise those with
+a full traceback instead.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
-from repro.constraints.assertions import AssertionSystem
+from repro.constraints.assertions import AssertionSystem, AssertionViolation
+from repro.engine.engine import EngineError
+from repro.ivm.maintainer import MaintenanceError
+from repro.storage.relation import StorageError
 from repro.sql import ast
 from repro.sql.dml import dml_to_delta, is_dml
 from repro.sql.lexer import SQLSyntaxError
@@ -51,7 +63,10 @@ UPDATE t SET c = expr WHERE …
 DELETE FROM t WHERE …
 \\views    materialized views        \\plan    maintenance plan
 \\io       cumulative page I/O       \\check   current assertion violations
-\\help     this text                 \\quit    exit"""
+\\explain [txn]   update track with estimated I/O costs
+\\profile <DML>   execute a statement under EXPLAIN ANALYZE
+\\metrics  engine metrics            \\help    this text
+\\quit     exit"""
 
 
 @dataclass
@@ -67,7 +82,13 @@ class ShellResult:
 class ShellSession:
     """The scriptable engine behind ``python -m repro shell``."""
 
-    def __init__(self, n_depts: int = 50, emps_per_dept: int = 10, seed: int = 0) -> None:
+    def __init__(
+        self,
+        n_depts: int = 50,
+        emps_per_dept: int = 10,
+        seed: int = 0,
+        enforce: bool = False,
+    ) -> None:
         self.db = Database()
         data = generate_corporate_db(
             n_depts, emps_per_dept, seed=seed, budget_range=(800, 1200)
@@ -75,7 +96,7 @@ class ShellSession:
         self.db.create_relation("Dept", DEPT_SCHEMA, data["Dept"], indexes=[["DName"]])
         self.db.create_relation("Emp", EMP_SCHEMA, data["Emp"], indexes=[["DName"]])
         self.system = AssertionSystem(
-            self.db, [DEPT_CONSTRAINT], paper_transactions()
+            self.db, [DEPT_CONSTRAINT], paper_transactions(), enforce=enforce
         )
         # All reads and writes go through the transactional engine: DML
         # commits are measured with scoped I/O and violation reports come
@@ -100,8 +121,18 @@ class ShellSession:
                 return self._run_dml(statement)
             if isinstance(statement, ast.SelectStmt):
                 return self._run_select(statement)
-        except (SQLTranslationError, Exception) as exc:  # noqa: BLE001 - REPL surface
+        except AssertionViolation as exc:
+            # Not an error: the enforcing engine rolled the statement back.
+            return ShellResult("error", f"rejected: {exc} (transaction rolled back)")
+        except (SQLTranslationError, EngineError, MaintenanceError, StorageError) as exc:
             return ShellResult("error", f"error: {exc}")
+        except Exception as exc:
+            if os.environ.get("REPRO_SHELL_DEBUG"):
+                raise
+            return ShellResult(
+                "error",
+                f"internal error: {exc!r} (set REPRO_SHELL_DEBUG=1 to re-raise)",
+            )
         return ShellResult(
             "error", "only SELECT and DML statements are supported here"
         )
@@ -170,6 +201,13 @@ class ShellSession:
             )
         if name == "\\io":
             return ShellResult("meta", str(self.engine.io_snapshot()))
+        if name == "\\explain":
+            return self._meta_explain(command)
+        if name == "\\profile":
+            return self._meta_profile(command)
+        if name == "\\metrics":
+            lines = self.engine.metrics.render()
+            return ShellResult("meta", "\n".join(lines) if lines else "(no metrics yet)")
         if name == "\\check":
             lines = []
             for assertion in self.system.assertions:
@@ -178,6 +216,57 @@ class ShellSession:
                 lines.append(f"{assertion}: {status}")
             return ShellResult("meta", "\n".join(lines))
         return ShellResult("error", f"unknown command {name!r} (try \\help)")
+
+    def _meta_explain(self, command: str) -> ShellResult:
+        from repro.obs.explain import explain
+
+        parts = command.split(maxsplit=1)
+        maintainer = self.system.maintainer
+        if len(parts) < 2:
+            declared = ", ".join(sorted(maintainer.txn_types))
+            return ShellResult(
+                "error", f"usage: \\explain <txn>  (declared types: {declared})"
+            )
+        try:
+            return ShellResult("meta", explain(maintainer, parts[1].strip()))
+        except KeyError as exc:
+            return ShellResult("error", f"error: {exc.args[0]}")
+
+    def _meta_profile(self, command: str) -> ShellResult:
+        """``\\profile <DML>`` — commit the statement under EXPLAIN ANALYZE.
+
+        Meta dispatch bypasses ``execute``'s try/except, so this carries its
+        own error surface (same tiers, same REPRO_SHELL_DEBUG escape hatch).
+        """
+        from repro.obs.explain import explain_analyze
+
+        parts = command.split(maxsplit=1)
+        if len(parts) < 2:
+            return ShellResult("error", "usage: \\profile <INSERT|UPDATE|DELETE ...>")
+        try:
+            statement = parse(parts[1].strip())
+        except SQLSyntaxError as exc:
+            return ShellResult("error", f"syntax error: {exc}")
+        if not is_dml(statement):
+            return ShellResult("error", "\\profile takes a DML statement")
+        try:
+            relation, delta = dml_to_delta(statement, self.db)
+            if delta.is_empty:
+                return ShellResult("dml", "no rows affected")
+            txn = Transaction("__shell", {relation: delta})
+            text, result = explain_analyze(self.engine, txn)
+        except AssertionViolation as exc:
+            return ShellResult("error", f"rejected: {exc} (transaction rolled back)")
+        except (SQLTranslationError, EngineError, MaintenanceError, StorageError) as exc:
+            return ShellResult("error", f"error: {exc}")
+        except Exception as exc:
+            if os.environ.get("REPRO_SHELL_DEBUG"):
+                raise
+            return ShellResult(
+                "error",
+                f"internal error: {exc!r} (set REPRO_SHELL_DEBUG=1 to re-raise)",
+            )
+        return ShellResult("dml", text, io_cost=result.io.total)
 
 
 def run_repl() -> int:  # pragma: no cover - interactive loop

@@ -33,6 +33,9 @@ class StreamReport:
     new_violations: dict[str, int] = field(default_factory=dict)
     cleared_violations: dict[str, int] = field(default_factory=dict)
     results: list["TransactionResult"] = field(default_factory=list)
+    # What the engine's MetricsRegistry accumulated over this run (counter
+    # deltas; see MetricsRegistry.since).
+    metrics: dict[str, float] = field(default_factory=dict)
 
     def __str__(self) -> str:
         pieces = [
@@ -62,13 +65,18 @@ def run_transactions(
     rejects (rolled back atomically) counts as ``rejected``. Under a
     :class:`~repro.engine.policy.DeferredPolicy` commits queue until a
     batch flush; the final ``flush`` (enabled by default) applies the tail
-    batch, and anything still queued afterwards is reported ``deferred``.
-    I/O and violation tallies fold in every applied result, batch flushes
-    included. ``keep_results`` retains each :class:`TransactionResult`;
-    ``on_result`` is called per engine result (e.g. for adaptive hooks).
+    batch — if an enforcing flush rejects that batch, its transactions
+    count as ``rejected`` and the report is still returned — and anything
+    still queued afterwards is reported ``deferred``. I/O and violation
+    tallies fold in every applied result, batch flushes included.
+    ``keep_results`` retains each :class:`TransactionResult`; ``on_result``
+    is called per engine result (e.g. for adaptive hooks). ``metrics``
+    carries the engine metrics delta over the run.
     """
     from repro.constraints.assertions import AssertionViolation
 
+    metrics = getattr(engine, "metrics", None)
+    metrics_before = metrics.snapshot() if metrics is not None else None
     report = StreamReport()
     for txn in txns:
         report.submitted += 1
@@ -81,11 +89,21 @@ def run_transactions(
         if on_result is not None:
             on_result(result)
     if flush:
-        flushed = engine.flush()
-        if flushed is not None:
-            _fold(report, flushed, keep_results)
+        # An enforcing policy can reject the tail batch; the batch's
+        # transactions then count as rejected (they were rolled back
+        # atomically) and the report survives.
+        pending_before = engine.pending
+        try:
+            flushed = engine.flush()
+        except AssertionViolation:
+            report.rejected += pending_before
+        else:
+            if flushed is not None:
+                _fold(report, flushed, keep_results)
     report.deferred = engine.pending
     report.committed = report.submitted - report.rejected - report.deferred
+    if metrics is not None and metrics_before is not None:
+        report.metrics = metrics.since(metrics_before)
     return report
 
 

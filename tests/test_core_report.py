@@ -21,8 +21,18 @@ class TestDescribeMarking:
     def test_roles(self, paper_dag, rendered):
         result, _ = rendered
         lines = describe_marking(paper_dag, result.best_marking)
-        assert any("the view itself" in line for line in lines)
-        assert any("auxiliary" in line for line in lines)
+        assert any("the view itself" in line for _, line in lines)
+        assert any("auxiliary" in line for _, line in lines)
+
+    def test_pairs_carry_structured_gids(self, paper_dag, rendered):
+        # Callers get the id alongside the rendered line — no re-parsing.
+        result, _ = rendered
+        pairs = describe_marking(paper_dag, result.best_marking)
+        assert [gid for gid, _ in pairs] == sorted(
+            paper_dag.memo.find(g) for g in result.best_marking
+        )
+        for gid, line in pairs:
+            assert line.startswith(f"N{gid} ")
 
 
 class TestRenderReport:

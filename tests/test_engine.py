@@ -295,6 +295,15 @@ class TestSelect:
         _, io = engine.select(Scan("Dept", DEPT_SCHEMA))
         assert engine.io_snapshot().total == before + io.total
 
+    def test_self_join_charges_each_leaf_occurrence(self, engine):
+        # Emp ⋈ Emp reads the Emp pages twice: charging distinct relation
+        # names only would undercount the scan by half.
+        from repro.algebra.operators import Join
+
+        emp = engine.db.relation("Emp")
+        _, io = engine.select(Join(Scan("Emp", emp.schema), Scan("Emp", emp.schema)))
+        assert io.tuple_reads == 2 * emp.row_count
+
 
 class TestDeferredPolicy:
     def test_commit_defers_until_flush(self, small_paper_db):

@@ -240,3 +240,93 @@ class TestDeferredMaintainer:
         assert not any(
             name.startswith("__batch") for name in dm.maintainer.txn_types
         )
+
+
+_HASHSEED_SCRIPT = """
+import json
+
+from repro.core.optimizer import evaluate_view_set
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import build_dag
+from repro.engine import Engine
+from repro.ivm.deferred import DeferredMaintainer
+from repro.ivm.delta import Delta
+from repro.ivm.maintainer import ViewMaintainer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.storage.statistics import Catalog
+from repro.workload.generators import chain_view, load_chain_database
+from repro.workload.transactions import Transaction, TransactionType, UpdateSpec
+
+K, ROWS = 5, 20
+db = load_chain_database(K, ROWS, seed=11)
+dag = build_dag(chain_view(K))
+estimator = DagEstimator(dag.memo, Catalog.from_database(db))
+cost_model = PageIOCostModel(dag.memo, estimator, CostConfig(root_group=dag.root))
+txn_types = tuple(
+    TransactionType(
+        f">R{i}",
+        {f"R{i}": UpdateSpec(modifies=1, modified_columns=frozenset({f"V{i}"}))},
+    )
+    for i in range(1, K + 1)
+)
+marking = frozenset({dag.root})
+ev = evaluate_view_set(dag.memo, marking, txn_types, cost_model, estimator)
+maintainer = ViewMaintainer(
+    db, dag, marking, txn_types,
+    {name: plan.track for name, plan in ev.per_txn.items()},
+    estimator, cost_model,
+)
+maintainer.materialize()
+
+deferred = DeferredMaintainer(maintainer)
+for i in range(1, K + 1):
+    rel = f"R{i}"
+    old = sorted(db.relation(rel).contents().rows())[0]
+    new = (old[0], old[1], old[2] + 7)
+    deferred.enqueue(Transaction(f">R{i}", {rel: Delta.modification([(old, new)])}))
+combined = deferred.compose()
+
+tracer = Tracer()
+engine = Engine(maintainer, tracer=tracer, metrics=MetricsRegistry())
+result = engine.execute(combined)
+print(json.dumps({
+    "compose_order": list(combined.deltas),
+    "base_apply_order": [s.attrs["relation"] for s in tracer.find("base_apply")],
+    "io": result.io.total,
+}))
+"""
+
+
+class TestComposeHashSeedDeterminism:
+    def test_batch_order_independent_of_hash_seed(self):
+        """compose() must not leak set-iteration order: the combined
+        batch's relation order (and hence base-apply order and per-span
+        attribution) has to be bit-identical across PYTHONHASHSEED values.
+        Seeds 0/1/2 are verified to order {R1..R5} differently, so the
+        pre-fix set iteration fails this test."""
+        import os
+        import subprocess
+        import sys
+
+        outputs = {}
+        for seed in ("0", "1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = "src"
+            proc = subprocess.run(
+                [sys.executable, "-c", _HASHSEED_SCRIPT],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs[seed] = proc.stdout
+        assert outputs["0"] == outputs["1"] == outputs["2"]
+        import json
+
+        doc = json.loads(outputs["0"])
+        assert doc["compose_order"] == sorted(doc["compose_order"])
+        assert doc["base_apply_order"] == doc["compose_order"]

@@ -120,3 +120,71 @@ class TestMeta:
 
     def test_empty_line(self, session):
         assert session.execute("   ").text == ""
+
+
+class TestErrorSurface:
+    def test_enforcing_session_reports_rejection(self):
+        session = ShellSession(n_depts=4, emps_per_dept=3, seed=5, enforce=True)
+        result = session.execute("UPDATE Emp SET Salary = Salary + 100000")
+        assert result.kind == "error"
+        assert result.text.startswith("rejected:")
+        assert "rolled back" in result.text
+        # The rejection really rolled back: no violations linger.
+        assert "VIOLATED" not in session.execute("\\check").text
+
+    def test_expected_errors_render_as_error(self, session):
+        result = session.execute("UPDATE Nope SET X = 1")
+        assert result.kind == "error"
+        assert result.text.startswith("error:")
+
+    def test_internal_error_is_not_swallowed_with_debug(self, fresh, monkeypatch):
+        monkeypatch.setenv("REPRO_SHELL_DEBUG", "1")
+        monkeypatch.setattr(
+            fresh.engine, "execute", lambda txn: (_ for _ in ()).throw(RuntimeError("boom"))
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            fresh.execute("UPDATE Emp SET Salary = Salary + 1")
+
+    def test_internal_error_reported_without_debug(self, fresh, monkeypatch):
+        monkeypatch.delenv("REPRO_SHELL_DEBUG", raising=False)
+        monkeypatch.setattr(
+            fresh.engine, "execute", lambda txn: (_ for _ in ()).throw(RuntimeError("boom"))
+        )
+        result = fresh.execute("UPDATE Emp SET Salary = Salary + 1")
+        assert result.kind == "error"
+        assert result.text.startswith("internal error:")
+        assert "REPRO_SHELL_DEBUG" in result.text
+
+
+class TestObservabilityMeta:
+    def test_explain_lists_types_without_arg(self, session):
+        result = session.execute("\\explain")
+        assert result.kind == "error"
+        assert ">Emp" in result.text
+
+    def test_explain_declared_txn(self, session):
+        result = session.execute("\\explain >Emp")
+        assert result.kind == "meta"
+        assert "EXPLAIN >Emp" in result.text
+        assert "est I/O" in result.text
+
+    def test_explain_unknown_txn(self, session):
+        result = session.execute("\\explain >Nope")
+        assert result.kind == "error"
+
+    def test_profile_runs_dml_under_explain_analyze(self, fresh):
+        result = fresh.execute("\\profile UPDATE Emp SET Salary = Salary + 1")
+        assert result.kind == "dml"
+        assert "EXPLAIN ANALYZE" in result.text
+        assert "measured" in result.text
+        assert result.io_cost > 0
+        fresh.system.maintainer.verify()
+
+    def test_profile_requires_dml(self, session):
+        assert session.execute("\\profile SELECT DName FROM Dept").kind == "error"
+        assert session.execute("\\profile").kind == "error"
+
+    def test_metrics_after_commit(self, fresh):
+        fresh.execute("UPDATE Emp SET Salary = Salary + 1")
+        text = fresh.execute("\\metrics").text
+        assert "engine.commits" in text
