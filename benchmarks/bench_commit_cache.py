@@ -1,0 +1,298 @@
+"""Experiment E12 — commit-scoped caching: plan cache and fetch cache.
+
+Two workloads, one per cache (see ``repro.ivm.cache``):
+
+* **Plan cache** — a stream of same-shaped 1-row ad-hoc DML transactions
+  on the k=5 chain with a rich marking, where ``choose_track``'s full
+  track enumeration dominates each commit. The
+  :class:`~repro.ivm.cache.AdhocPlanCache` plans the shape once; the
+  full-size run must show a ≥1.5× wall-clock speedup with bit-identical
+  view contents.
+
+* **Commit cache** — two SQL assertions sharing the Emp ⋈ Dept
+  subexpression, driven by department-transfer modifications (the
+  group-moving case that forces aggregate recomputation, the paper's
+  Q4e-style input queries). Both assertion roots re-probe the same join
+  inputs within one commit; the :class:`~repro.ivm.cache.CommitCache`
+  answers the second probe from memory. Measured page I/O must be
+  *strictly* lower with the cache on, and storage-visible state must be
+  bit-identical — asserted in smoke mode too, so CI fails on any on/off
+  divergence.
+
+The full run writes ``benchmarks/BENCH_cache.json``; ``REPRO_BENCH_SMOKE=1``
+(or ``--smoke`` when run as a script) shrinks the data but keeps every
+correctness assertion.
+"""
+
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.constraints.assertions import AssertionSystem, AssertionViolation
+from repro.core.optimizer import evaluate_view_set
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import build_dag
+from repro.engine import Engine
+from repro.ivm.delta import Delta
+from repro.ivm.maintainer import ViewMaintainer
+from repro.storage.database import Database
+from repro.storage.statistics import Catalog
+from repro.workload.generators import chain_view, load_chain_database
+from repro.workload.paperdb import DEPT_SCHEMA, EMP_SCHEMA
+from repro.workload.transactions import (
+    Transaction,
+    TransactionType,
+    UpdateSpec,
+    paper_transactions,
+)
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+K = 5
+CHAIN_ROWS = 200 if SMOKE else 1000
+N_DML = 20 if SMOKE else 120
+
+N_DEPTS = 5
+N_EMPS = 40 if SMOKE else 200
+N_TRANSFERS = 20 if SMOKE else 80
+
+PLAN_SPEEDUP_FLOOR = 1.5  # asserted on full runs only (wall clock is noisy in CI)
+
+_RESULTS_FILE = Path(__file__).parent / "BENCH_cache.json"
+
+BUDGET_CAP = """
+CREATE ASSERTION BudgetCap CHECK (NOT EXISTS (
+    SELECT Dept.DName FROM Emp, Dept
+    WHERE Dept.DName = Emp.DName
+    GROUPBY Dept.DName, Budget
+    HAVING SUM(Salary) > Budget))
+"""
+SALARY_CAP = """
+CREATE ASSERTION SalaryCap CHECK (NOT EXISTS (
+    SELECT Dept.DName FROM Emp, Dept
+    WHERE Dept.DName = Emp.DName
+    GROUPBY Dept.DName, Budget
+    HAVING MAX(Salary) > Budget))
+"""
+
+
+# -- workload A: plan cache on repeated same-shaped ad-hoc DML -------------------------
+
+
+def build_chain_setup(plan_cache_on: bool):
+    """k=5 chain with a rich marking (root + every wide join group), so
+    track enumeration in ``choose_track`` is the dominant per-commit cost
+    for 1-row DML."""
+    db = load_chain_database(K, CHAIN_ROWS, seed=11)
+    dag = build_dag(chain_view(K))
+    estimator = DagEstimator(dag.memo, Catalog.from_database(db))
+    cost_model = PageIOCostModel(
+        dag.memo, estimator, CostConfig(charge_root_update=False, root_group=dag.root)
+    )
+    marking = {dag.root}
+    for group in dag.memo.groups():
+        if not group.is_leaf and len(group.schema.names) >= 4:
+            marking.add(group.id)
+    marking = frozenset(dag.memo.find(g) for g in marking)
+    txn_types = (
+        TransactionType(
+            ">R1",
+            {"R1": UpdateSpec(modifies=1, modified_columns=frozenset({"V1"}))},
+        ),
+    )
+    ev = evaluate_view_set(dag.memo, marking, txn_types, cost_model, estimator)
+    maintainer = ViewMaintainer(
+        db,
+        dag,
+        marking,
+        txn_types,
+        {name: plan.track for name, plan in ev.per_txn.items()},
+        estimator,
+        cost_model,
+        plan_cache=None if not plan_cache_on else 128,
+    )
+    if not plan_cache_on:
+        maintainer.plan_cache = None
+    maintainer.materialize()
+    return db, maintainer
+
+
+def make_dml_stream(db, n):
+    """Same-shaped 1-row modifications of R1.V1, chained deterministically."""
+    current = {row[1]: row for row in db.relation("R1").contents().rows()}
+    rng = random.Random(17)
+    txns = []
+    for _ in range(n):
+        key = rng.choice(sorted(current))
+        old = current[key]
+        new = (old[0], old[1], old[2] + 1)
+        current[key] = new
+        txns.append(Transaction("dml", {"R1": Delta.modification([(old, new)])}))
+    return txns
+
+
+def measure_plan_cache(plan_cache_on: bool):
+    db, maintainer = build_chain_setup(plan_cache_on)
+    engine = Engine(maintainer)
+    txns = make_dml_stream(db, N_DML)
+    started = time.perf_counter()
+    for txn in txns:
+        engine.execute(txn)
+    elapsed = time.perf_counter() - started
+    maintainer.verify()
+    views = {
+        gid: maintainer.view_contents(gid) for gid in sorted(maintainer._views)
+    }
+    stats = maintainer.plan_cache.stats if maintainer.plan_cache is not None else None
+    return elapsed, views, stats
+
+
+# -- workload B: commit cache on shared-subexpression assertion checking ---------------
+
+
+def build_assertion_setup(commit_cache_on: bool):
+    """Two assertions over the same Emp ⋈ Dept join; every transfer commit
+    recomputes affected groups for both roots against the shared inputs."""
+    rng = random.Random(7)
+    db = Database()
+    depts = [(f"dp{i}", "m", rng.randint(4000, 9000)) for i in range(N_DEPTS)]
+    emps = [
+        (f"e{i}", f"dp{rng.randrange(N_DEPTS)}", rng.randint(5, 30))
+        for i in range(N_EMPS)
+    ]
+    db.create_relation("Dept", DEPT_SCHEMA, depts, indexes=[["DName"]])
+    db.create_relation("Emp", EMP_SCHEMA, emps, indexes=[["DName"]])
+    system = AssertionSystem(
+        db,
+        [BUDGET_CAP, SALARY_CAP],
+        paper_transactions(),
+        commit_cache=commit_cache_on,
+    )
+    return system, db
+
+
+def measure_commit_cache(commit_cache_on: bool):
+    system, db = build_assertion_setup(commit_cache_on)
+    rng = random.Random(23)
+    io_before = db.counter.snapshot()
+    started = time.perf_counter()
+    for _ in range(N_TRANSFERS):
+        emps = sorted(db.relation("Emp").contents().rows())
+        old = rng.choice(emps)
+        dst = rng.choice(
+            [f"dp{i}" for i in range(N_DEPTS) if f"dp{i}" != old[1]]
+        )
+        txn = Transaction(
+            "Transfer", {"Emp": Delta.modification([(old, (old[0], dst, old[2]))])}
+        )
+        try:
+            system.engine.execute(txn)
+        except AssertionViolation:
+            pass
+    elapsed = time.perf_counter() - started
+    io = (db.counter.snapshot() - io_before).total
+    maintainer = system.maintainer
+    maintainer.verify()
+    state = {name: db.relation(name).contents() for name in ("Emp", "Dept")}
+    for gid in sorted(maintainer.marking):
+        if not maintainer.memo.group(gid).is_leaf:
+            state[f"view:{gid}"] = maintainer.view_contents(gid)
+    return io, elapsed, state, maintainer.commit_cache_stats
+
+
+# -- the benchmark --------------------------------------------------------------------
+
+
+def run_cache_bench():
+    plan_on_s, views_on, plan_stats = measure_plan_cache(True)
+    plan_off_s, views_off, _ = measure_plan_cache(False)
+    assert views_on == views_off, "plan cache changed view contents"
+
+    cc_on_io, cc_on_s, state_on, cc_stats = measure_commit_cache(True)
+    cc_off_io, cc_off_s, state_off, _ = measure_commit_cache(False)
+    assert state_on == state_off, "commit cache changed storage-visible state"
+
+    return {
+        "workload": {
+            "chain_length": K,
+            "chain_rows": CHAIN_ROWS,
+            "dml_txns": N_DML,
+            "assertion_emps": N_EMPS,
+            "transfer_txns": N_TRANSFERS,
+            "smoke": SMOKE,
+        },
+        "plan_cache": {
+            "seconds_on": plan_on_s,
+            "seconds_off": plan_off_s,
+            "speedup": plan_off_s / plan_on_s,
+            "hits": plan_stats.hits,
+            "misses": plan_stats.misses,
+        },
+        "commit_cache": {
+            "io_on": cc_on_io,
+            "io_off": cc_off_io,
+            "io_saved": cc_off_io - cc_on_io,
+            "io_saved_estimate": cc_stats.io_saved,
+            "seconds_on": cc_on_s,
+            "seconds_off": cc_off_s,
+            "fetch_hits": cc_stats.fetch_hits,
+            "fetch_misses": cc_stats.fetch_misses,
+        },
+    }
+
+
+def _check_and_render(report):
+    from conftest import emit, format_table
+
+    plan = report["plan_cache"]
+    cc = report["commit_cache"]
+    emit(format_table(
+        f"E12 — commit-scoped caching "
+        f"(k={K} chain / 2-assertion transfers{', smoke' if SMOKE else ''})",
+        ["cache", "off", "on", "gain"],
+        [
+            [
+                "ad-hoc plan (wall s)",
+                f"{plan['seconds_off']:.3f}",
+                f"{plan['seconds_on']:.3f}",
+                f"{plan['speedup']:.2f}x",
+            ],
+            [
+                "commit fetch (page I/Os)",
+                f"{cc['io_off']}",
+                f"{cc['io_on']}",
+                f"-{cc['io_saved']}",
+            ],
+        ],
+    ))
+    # On/off bit-identity is asserted inside run_cache_bench at every size.
+    # The commit cache must strictly reduce measured page I/O on the shared
+    # subexpression workload (it can never increase it).
+    assert cc["io_on"] < cc["io_off"], "commit cache must strictly reduce page I/O"
+    assert cc["fetch_hits"] > 0, "the shared-subexpression workload must hit the cache"
+    assert plan["hits"] > 0 and plan["misses"] <= 2
+    if not SMOKE:
+        # Wall-clock floors only off CI-class shared runners.
+        assert plan["speedup"] >= PLAN_SPEEDUP_FLOOR
+        _RESULTS_FILE.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def test_commit_cache_bench(benchmark):
+    report = benchmark.pedantic(run_cache_bench, rounds=1, iterations=1)
+    _check_and_render(report)
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv[1:]:
+        SMOKE = True
+        CHAIN_ROWS, N_DML = 200, 20
+        N_EMPS, N_TRANSFERS = 40, 20
+    sys.path.insert(0, str(Path(__file__).parent))
+    report = run_cache_bench()
+    _check_and_render(report)
+    print(json.dumps(report, indent=2))

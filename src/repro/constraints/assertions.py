@@ -62,6 +62,8 @@ class AssertionSystem:
         catalog: Catalog | None = None,
         exhaustive: bool = True,
         enforce: bool = False,
+        commit_cache: bool | None = None,
+        plan_cache: int | None = None,
     ) -> None:
         self.db = db
         self.enforce = enforce
@@ -102,6 +104,8 @@ class AssertionSystem:
             self.estimator,
             self.cost_model,
             charge_root_update=True,
+            commit_cache=commit_cache,
+            plan_cache=plan_cache,
         )
         self.maintainer.materialize()
         self._roots = {

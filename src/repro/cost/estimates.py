@@ -236,7 +236,10 @@ class DagEstimator:
         self.use_fds = use_fds
         self.use_completeness = use_completeness
         self._infos: dict[int, NodeInfo] = {}
-        self._deltas: dict[tuple[int, str], DeltaStats | None] = {}
+        # Keyed by the txn's delta_signature, NOT its name: ad-hoc names
+        # ("__shell", "__batch_n", …) recur with different specs, and a
+        # name-keyed memo would return stale stats for them.
+        self._deltas: dict[tuple[int, tuple], DeltaStats | None] = {}
         self._base_rels: dict[int, frozenset[str]] = {}
 
     # -- reachability --------------------------------------------------------------
@@ -406,7 +409,7 @@ class DagEstimator:
         since a proof along any op is a proof about the semantic delta.
         """
         gid = self._memo.find(gid)
-        key = (gid, txn.name)
+        key = (gid, txn.delta_signature)
         if key in self._deltas:
             return self._deltas[key]
         group = self._memo.group(gid)

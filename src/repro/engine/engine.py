@@ -263,6 +263,15 @@ class Engine:
         pc = plan_cache()
         if pc.hits or pc.misses:
             m.observe_cache("plan", pc.hits, pc.misses)
+        # Commit-scoped fetch/scan cache and the ad-hoc plan cache
+        # (cumulative per maintainer; gauges, so idempotent per commit).
+        cc = getattr(self.maintainer, "commit_cache_stats", None)
+        if cc is not None and (cc.hits or cc.misses):
+            m.observe_cache("commit", cc.hits, cc.misses)
+            m.gauge("cache.commit.io_saved").set(cc.io_saved)
+        apc = getattr(self.maintainer, "plan_cache", None)
+        if apc is not None and (apc.stats.hits or apc.stats.misses):
+            m.observe_cache("adhoc_plan", apc.stats.hits, apc.stats.misses)
 
     @property
     def pending(self) -> int:

@@ -5,6 +5,12 @@ The executable maintenance engine lives in :mod:`repro.ivm.maintainer`
 cost and core packages; ``from repro import ViewMaintainer`` works).
 """
 
+from repro.ivm.cache import (
+    AdhocPlanCache,
+    CommitCache,
+    CommitCacheStats,
+    adhoc_signature,
+)
 from repro.ivm.delta import Delta
 from repro.ivm.propagate import (
     PropagationError,
@@ -32,6 +38,10 @@ def __getattr__(name: str):
 
 
 __all__ = [
+    "AdhocPlanCache",
+    "CommitCache",
+    "CommitCacheStats",
+    "adhoc_signature",
     "DeferredMaintainer",
     "Delta",
     "compose_deltas",

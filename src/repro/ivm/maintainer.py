@@ -52,6 +52,14 @@ from repro.core.tracks import UpdateTrack
 from repro.dag.builder import ViewDag
 from repro.dag.memo import Memo
 from repro.dag.nodes import OperationNode
+from repro.ivm.cache import (
+    AdhocPlanCache,
+    CommitCache,
+    CommitCacheStats,
+    adhoc_signature,
+    commit_cache_default,
+    plan_cache_default_capacity,
+)
 from repro.ivm.delta import Delta
 from repro.ivm.propagate import (
     affected_group_keys,
@@ -108,6 +116,8 @@ class ViewMaintainer:
         cost_model: PageIOCostModel | None = None,
         charge_base_updates: bool = False,
         charge_root_update: bool = False,
+        commit_cache: bool | None = None,
+        plan_cache: int | None = None,
     ) -> None:
         self.db = db
         self.memo = dag.memo
@@ -120,6 +130,21 @@ class ViewMaintainer:
         self.charge_base_updates = charge_base_updates
         self.charge_root_update = charge_root_update
         self._roots = frozenset(self.memo.find(r) for r in dag.roots.values())
+        # Commit-scoped shared-computation caching (see repro.ivm.cache):
+        # the per-commit fetch/scan memo lives only for apply()'s
+        # propagation phase; the ad-hoc plan cache lives with the
+        # maintainer (its validity is tied to this memo/marking/estimator).
+        self._commit_cache_enabled = (
+            commit_cache_default() if commit_cache is None else bool(commit_cache)
+        )
+        self._commit_cache: CommitCache | None = None
+        self.commit_cache_stats = CommitCacheStats()
+        self.last_cache_stats: CommitCacheStats | None = None
+        capacity = plan_cache_default_capacity() if plan_cache is None else plan_cache
+        self.plan_cache: AdhocPlanCache | None = (
+            AdhocPlanCache(capacity) if capacity and capacity > 0 else None
+        )
+        self._adhoc_seq = 0
         self._views: dict[int, StoredRelation] = {}
         self._agg_specs: dict[int, tuple[GroupAggregate, int]] = {}  # (template, input gid)
         self._self_maintained: set[int] = set()
@@ -169,7 +194,11 @@ class ViewMaintainer:
 
         Mirrors the cost model's recursion: indexed lookups at leaves and
         materialized nodes, operator-specific decomposition elsewhere, full
-        computation as a last resort.
+        computation as a last resort. During a commit's propagation phase
+        the per-commit :class:`~repro.ivm.cache.CommitCache` memoizes
+        results per (group, columns, key) with partial-hit splitting —
+        every delta is posed against the pre-update state, so repeated
+        probes of shared sub-nodes are answered from memory.
         """
         gid = self.memo.find(gid)
         if not keys:
@@ -181,7 +210,23 @@ class ViewMaintainer:
             keys = {tuple(k[p] for p in positions) for k in keys}
             columns = reduced
         if not columns:
-            return self._scan_group(gid)
+            return self._cached_scan(gid)
+        columns = frozenset(columns)
+        cache = self._commit_cache
+        if cache is None:
+            return self._fetch_keys(gid, columns, keys)
+        return cache.fetch(
+            gid,
+            columns,
+            keys,
+            self.memo.group(gid).schema.names,
+            lambda missing: self._fetch_keys(gid, columns, missing),
+        )
+
+    def _fetch_keys(
+        self, gid: int, columns: frozenset[str], keys: set[tuple]
+    ) -> Multiset:
+        """The uncached fetch body: ``columns`` are already key-reduced."""
         group = self.memo.group(gid)
         if group.is_leaf:
             return self._indexed_fetch(
@@ -195,9 +240,16 @@ class ViewMaintainer:
             if cost < best_cost:
                 best_op, best_cost = op, cost
         if best_op is None or best_cost == float("inf"):
-            rows = self._scan_group(gid)
+            rows = self._cached_scan(gid)
             return self._filter_by_keys(rows, group.schema.names, columns, keys)
         return self._fetch_via_op(gid, best_op, columns, keys)
+
+    def _cached_scan(self, gid: int) -> Multiset:
+        """A group scan, answered once per commit when the cache is live."""
+        cache = self._commit_cache
+        if cache is None:
+            return self._scan_group(gid)
+        return cache.scan(gid, lambda: self._scan_group(gid))
 
     def _bucket_fetch(self, gid: int, columns: frozenset[str]):
         """A bucket-grained fetch callable for group ``gid`` on ``columns``,
@@ -433,13 +485,17 @@ class ViewMaintainer:
         """Apply a transaction whose type was not declared up front.
 
         An update spec is derived from the concrete deltas, the cheapest
-        track is chosen on the fly, and the transaction is applied through
-        the ordinary machinery (``undo`` is threaded through to
-        :meth:`apply`). Useful for interactive DML and composed batches.
+        track is chosen on the fly — memoized in the
+        :class:`~repro.ivm.cache.AdhocPlanCache` by the spec's shape
+        signature, so a stream of same-shaped DML plans once — and the
+        transaction is applied through the ordinary machinery (``undo``
+        is threaded through to :meth:`apply`). Useful for interactive DML
+        and composed batches. Unnamed transactions get a deterministic
+        ``__adhoc_<n>`` name from a monotonic per-maintainer counter
+        (never colliding with a live registration).
         """
         from repro.workload.transactions import UpdateSpec
 
-        name = name or f"__adhoc_{id(txn)}"
         updates = {}
         for rel, delta in txn.deltas.items():
             if delta.is_empty:
@@ -459,8 +515,18 @@ class ViewMaintainer:
             )
         if not updates:
             return {}
+        if name is None:
+            name = self._next_adhoc_name()
         txn_type = TransactionType(name, updates)
-        track = self.choose_track(txn_type)
+        track: UpdateTrack | None = None
+        signature: tuple | None = None
+        if self.plan_cache is not None:
+            signature = adhoc_signature(updates, self.marking)
+            track = self.plan_cache.get(signature)
+        if track is None:
+            track = self.choose_track(txn_type)
+            if self.plan_cache is not None and signature is not None:
+                self.plan_cache.put(signature, track)
         self.txn_types[name] = txn_type
         self.tracks[name] = track
         adhoc = Transaction(name, dict(txn.deltas))
@@ -469,6 +535,19 @@ class ViewMaintainer:
         finally:
             self.txn_types.pop(name, None)
             self.tracks.pop(name, None)
+
+    def _next_adhoc_name(self) -> str:
+        """A deterministic name for an unnamed ad-hoc transaction.
+
+        ``id(txn)``-based names varied run to run (unstable trace/metric
+        labels) and could collide with a live registration when CPython
+        reuses an address; a monotonic counter cannot.
+        """
+        while True:
+            self._adhoc_seq += 1
+            name = f"__adhoc_{self._adhoc_seq}"
+            if name not in self.txn_types:
+                return name
 
     def apply(
         self,
@@ -500,10 +579,23 @@ class ViewMaintainer:
                 continue  # the relation feeds no view in this DAG
             deltas[self.memo.leaf_group_id(rel)] = delta
 
-        for gid in self._topological(track):
-            op = track[gid]
-            with tracer.span("track_op", node=gid, op=op.id):
-                deltas[gid] = self._propagate_op(gid, op, deltas, txn_type, tracer)
+        # The commit cache is valid for exactly the propagation phase: every
+        # delta below is computed against the pre-update state (no base or
+        # view delta is applied until the loop finishes), so fetches and
+        # scans are pure functions of (group, columns, keys). It is
+        # discarded — unconditionally — before the apply phase begins.
+        cache = CommitCache(self.db.counter) if self._commit_cache_enabled else None
+        self._commit_cache = cache
+        try:
+            for gid in self._topological(track):
+                op = track[gid]
+                with tracer.span("track_op", node=gid, op=op.id):
+                    deltas[gid] = self._propagate_op(gid, op, deltas, txn_type, tracer)
+        finally:
+            self._commit_cache = None
+            if cache is not None:
+                self.commit_cache_stats.fold(cache.stats)
+                self.last_cache_stats = cache.stats
 
         for rel, delta in txn.deltas.items():
             relation = self.db.relation(rel)
@@ -524,19 +616,34 @@ class ViewMaintainer:
         return {g: d for g, d in deltas.items() if g in self.marking}
 
     def _topological(self, track: UpdateTrack) -> list[int]:
+        """Children-first order of a track's groups.
+
+        Iterative DFS with an explicit stack — a deep track (a long join
+        spine) must not be limited by the interpreter's recursion limit.
+        Visits nodes in the same order as the natural recursive version:
+        roots in sorted order, children in ``child_ids`` order.
+        """
         order: list[int] = []
         seen: set[int] = set()
-
-        def visit(gid: int) -> None:
-            if gid in seen or gid not in track:
-                return
-            seen.add(gid)
-            for cid in track[gid].child_ids:
-                visit(self.memo.find(cid))
-            order.append(gid)
-
-        for gid in sorted(track):
-            visit(gid)
+        for root in sorted(track):
+            if root in seen:
+                continue
+            seen.add(root)
+            stack = [(root, iter(track[root].child_ids))]
+            while stack:
+                gid, children = stack[-1]
+                descended = False
+                for cid in children:
+                    cid = self.memo.find(cid)
+                    if cid in seen or cid not in track:
+                        continue
+                    seen.add(cid)
+                    stack.append((cid, iter(track[cid].child_ids)))
+                    descended = True
+                    break
+                if not descended:
+                    order.append(gid)
+                    stack.pop()
         return order
 
     def _propagate_op(
@@ -581,6 +688,9 @@ class ViewMaintainer:
             buckets = self._bucket_fetch(children[1], jc)
             if buckets is not None:
                 fetch_right.buckets = buckets
+            if self._commit_cache is not None:
+                fetch_left.cache_info = self._commit_cache.counts
+                fetch_right.cache_info = self._commit_cache.counts
             return propagate_join(
                 template, child_deltas[0], child_deltas[1], fetch_left, fetch_right,
                 tracer=tracer,
@@ -636,7 +746,7 @@ class ViewMaintainer:
             }
             child_rows = self.fetch(child, child_cols, translated)
         else:
-            child_rows = self._scan_group(child)
+            child_rows = self._cached_scan(child)
         old_counts = apply_project(plain, child_rows)
         from repro.ivm.propagate import _dedup_from_counts
 
@@ -694,6 +804,8 @@ class ViewMaintainer:
             reduced_keys = {tuple(k[p] for p in reduced_positions) for k in keys}
             return self.fetch(input_gid, frozenset(reduced), reduced_keys)
 
+        if self._commit_cache is not None:
+            fetch_group.cache_info = self._commit_cache.counts
         return propagate_aggregate_recompute(template, delta, fetch_group, tracer=tracer)
 
     @staticmethod

@@ -45,6 +45,27 @@ from repro.obs.trace import NULL_TRACER
 Fetch = Callable[[set[tuple[Any, ...]]], Multiset]
 
 
+def _cache_counts(fetch: Fetch) -> tuple[int, int] | None:
+    """Commit-cache (hits, misses) counters exposed by a fetch, if any.
+
+    A fetch backed by a live :class:`~repro.ivm.cache.CommitCache` carries
+    a ``cache_info`` attribute (the cache's ``counts`` accessor); plain
+    fetches — tests, cache-off runs — simply lack it.
+    """
+    info = getattr(fetch, "cache_info", None)
+    return info() if info is not None else None
+
+
+def _annotate_cache(span, fetch: Fetch, before: tuple[int, int] | None) -> None:
+    """Record how many cache hits/misses this fetch span caused."""
+    if before is None:
+        return
+    after = _cache_counts(fetch)
+    if after is None:
+        return
+    span.annotate(cache_hits=after[0] - before[0], cache_misses=after[1] - before[1])
+
+
 class PropagationError(Exception):
     """Raised when a propagation mode's preconditions are violated."""
 
@@ -237,18 +258,22 @@ def propagate_join_net(
         bucket_fetch = getattr(fetch_right, "buckets", None)
         with tracer.span(
             "fetch", side="R", keys=len(keys), bucketed=bucket_fetch is not None
-        ):
+        ) as span:
+            before = _cache_counts(fetch_right)
             if bucket_fetch is not None:
                 left_part = apply_join_fetched(expr, left_net, bucket_fetch(keys))
             else:
                 right_old = fetch_right(keys)
                 left_part = apply_join(expr, left_net, right_old)
+            _annotate_cache(span, fetch_right, before)
     if right_net:
         if fetch_left is None:
             raise PropagationError("right delta requires a fetch on the left input")
         keys = key_set(right_net, [right_schema.index_of(c) for c in shared])
-        with tracer.span("fetch", side="L", keys=len(keys), bucketed=False):
+        with tracer.span("fetch", side="L", keys=len(keys), bucketed=False) as span:
+            before = _cache_counts(fetch_left)
             left_old = fetch_left(keys)
+            _annotate_cache(span, fetch_left, before)
         # L_new = L_old + ΔL restricted to the touched keys.
         left_key = tuple_getter(left_idx)
         left_new = left_old.copy()
@@ -289,8 +314,10 @@ def propagate_aggregate_recompute(
     if not keys:
         return Delta()
     tracer = tracer if tracer is not None else NULL_TRACER
-    with tracer.span("fetch", side="input", keys=len(keys), bucketed=False):
+    with tracer.span("fetch", side="input", keys=len(keys), bucketed=False) as span:
+        before = _cache_counts(fetch_group)
         old_rows = fetch_group(keys)
+        _annotate_cache(span, fetch_group, before)
     return _aggregate_delta_from_states(expr, old_rows, delta, keys)
 
 

@@ -155,6 +155,12 @@ def _render(
         lines.append(
             f"commit I/O: {measured.total} — ties out to the commit's IOCounter delta"
         )
+        cache = maintainer.last_cache_stats
+        if cache is not None and (cache.hits or cache.misses):
+            lines.append(
+                f"commit cache: {cache.describe()} — measured I/O can sit "
+                "below the estimates (see docs/cost_model.md)"
+            )
     return "\n".join(lines)
 
 

@@ -70,6 +70,25 @@ class TransactionType:
     def spec(self, relation: str) -> UpdateSpec:
         return self.updates.get(relation, UpdateSpec())
 
+    @property
+    def delta_signature(self) -> tuple:
+        """A canonical key for everything delta estimation depends on.
+
+        Two types with equal signatures produce identical
+        :class:`~repro.cost.estimates.DeltaStats` everywhere in the DAG —
+        name and weight deliberately excluded, so memos keyed by this
+        stay correct when ad-hoc names are reused with different specs.
+        """
+        cached = getattr(self, "_delta_signature", None)
+        if cached is None:
+            cached = tuple(
+                (rel, spec.inserts, spec.deletes, spec.modifies,
+                 tuple(sorted(spec.modified_columns)))
+                for rel, spec in sorted(self.updates.items())
+            )
+            object.__setattr__(self, "_delta_signature", cached)
+        return cached
+
     def __str__(self) -> str:
         return self.name
 
