@@ -1,0 +1,290 @@
+"""Experiment E13 — durability: WAL overhead, recovery time, pool hit rate.
+
+Runs the E1 corporate stream (alternating ``>Emp`` / ``>Dept`` salary and
+budget modifications under DeptConstraint) with the durable store on and
+off, and pins down the durability contract end to end:
+
+* **accounting neutrality** — the simulated Section 3.6 page I/O is
+  bit-identical with durability on or off (asserted, not bounded);
+* **no divergence** — reopening the durable directory recovers a state
+  bit-identical to the live run's final state (asserted);
+* **bounded overhead** — WAL-on wall time stays within
+  ``WAL_OVERHEAD_CEILING`` (1.5×) of the in-memory run, asserted in smoke
+  mode too (the write path is a few syscalls per commit, cheap next to
+  the Python maintenance work);
+* **recovery scales with the log** — reported for growing uncheckpointed
+  WALs, and checkpointing is shown collapsing the replay length;
+* **hit rate vs pool size** — buffer-pool locality across pool capacities.
+
+The full run writes ``benchmarks/BENCH_durable.json``;
+``REPRO_BENCH_SMOKE=1`` shrinks the stream so CI asserts the same
+invariants quickly.
+"""
+
+import json
+import os
+import random
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import emit, format_table
+
+from repro.constraints.assertions import AssertionSystem
+from repro.ivm.delta import Delta
+from repro.storage.database import Database
+from repro.storage.durable import DurableStore
+from repro.workload.paperdb import DEPT_SCHEMA, EMP_SCHEMA, generate_corporate_db
+from repro.workload.transactions import Transaction, paper_transactions
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+N_DEPTS = 20 if SMOKE else 200
+EMPS_PER_DEPT = 5 if SMOKE else 10
+N_TXNS = 30 if SMOKE else 300
+REPS = 1 if SMOKE else 3
+LOG_LENGTHS = (10, 30) if SMOKE else (50, 150, 300)
+POOL_SIZES = (1, 4, 16, 64)
+
+WAL_OVERHEAD_CEILING = 1.5
+
+DEPT_CONSTRAINT = """
+CREATE ASSERTION DeptConstraint CHECK (NOT EXISTS (
+    SELECT Dept.DName FROM Emp, Dept
+    WHERE Dept.DName = Emp.DName
+    GROUPBY Dept.DName, Budget
+    HAVING SUM(Salary) > Budget))
+"""
+
+_RESULTS_FILE = Path(__file__).parent / "BENCH_durable.json"
+
+
+def _snapshot(db):
+    return {
+        name: sorted(db.relation(name).contents().items(), key=repr)
+        for name in sorted(db.names)
+    }
+
+
+def _build(durable_path, pool_size=64, checkpoint_every=None, wal_sync=None):
+    db = Database(
+        durable_path=durable_path,
+        pool_size=pool_size,
+        checkpoint_every=checkpoint_every,
+        wal_sync=wal_sync,
+    )
+    if "Emp" not in db:
+        data = generate_corporate_db(
+            N_DEPTS, EMPS_PER_DEPT, seed=23, budget_range=(800, 1200)
+        )
+        db.create_relation("Dept", DEPT_SCHEMA, data["Dept"], indexes=[["DName"]])
+        db.create_relation("Emp", EMP_SCHEMA, data["Emp"], indexes=[["DName"]])
+    system = AssertionSystem(db, [DEPT_CONSTRAINT], paper_transactions())
+    return db, system.engine
+
+
+def _stream(db, engine, n_txns):
+    """The E1 transaction mix, deterministic; returns (logical io, wall s)."""
+    rng = random.Random(17)
+    emps = sorted(db.relation("Emp").contents().rows())
+    depts = sorted(db.relation("Dept").contents().rows())
+    io_total = 0
+    elapsed = 0.0
+    for i in range(n_txns):
+        if i % 2 == 0:
+            j = rng.randrange(len(emps))
+            old = emps[j]
+            new = (old[0], old[1], old[2] + rng.choice([-4, 3, 7]))
+            emps[j] = new
+            txn = Transaction(">Emp", {"Emp": Delta.modification([(old, new)])})
+        else:
+            j = rng.randrange(len(depts))
+            old = depts[j]
+            new = (old[0], old[1], old[2] + rng.choice([-11, 6, 14]))
+            depts[j] = new
+            txn = Transaction(">Dept", {"Dept": Delta.modification([(old, new)])})
+        started = time.perf_counter()
+        result = engine.execute(txn)
+        elapsed += time.perf_counter() - started
+        io_total += result.io.total
+    return io_total, elapsed
+
+
+def run_wal_overhead():
+    plain_s = float("inf")
+    plain_io = None
+    for _ in range(REPS):
+        db, engine = _build(None)
+        io, elapsed = _stream(db, engine, N_TXNS)
+        plain_s = min(plain_s, elapsed)
+        assert plain_io is None or io == plain_io
+        plain_io = io
+
+    modes = {}
+    for wal_sync in ("normal", "full"):
+        durable_s = float("inf")
+        durable_io = None
+        stats = None
+        for _ in range(REPS):
+            path = tempfile.mkdtemp(prefix="bench-durable-")
+            try:
+                db, engine = _build(path, wal_sync=wal_sync)
+                io, elapsed = _stream(db, engine, N_TXNS)
+                durable_s = min(durable_s, elapsed)
+                durable_io = io
+                stats = db.durable.stats.snapshot()
+                final = _snapshot(db)
+                db.close()
+                db2, _engine2 = _build(path, wal_sync=wal_sync)
+                recovered = _snapshot(db2)
+                db2.close()
+                assert recovered == final, (
+                    "recovered state diverged from the live run"
+                )
+            finally:
+                shutil.rmtree(path, ignore_errors=True)
+        assert durable_io == plain_io, (
+            "durability must not change the simulated page-I/O accounting"
+        )
+        modes[wal_sync] = {
+            "seconds": durable_s,
+            "wall_overhead": durable_s / plain_s if plain_s else 1.0,
+            "ms_per_commit_added": (durable_s - plain_s) / N_TXNS * 1e3,
+            "io_identical": durable_io == plain_io,
+            "wal_records": stats["wal_records"],
+            "fsyncs": stats["fsyncs"],
+        }
+    return {"txns": N_TXNS, "in_memory_s": plain_s, "modes": modes}
+
+
+def run_recovery_time():
+    rows = []
+    for n in LOG_LENGTHS:
+        path = tempfile.mkdtemp(prefix="bench-recovery-")
+        try:
+            # checkpoint_every=0: the whole stream stays in the WAL tail.
+            db, engine = _build(path, checkpoint_every=0)
+            _stream(db, engine, n)
+            wal_records = db.durable.stats.wal_records
+            db.close()
+            started = time.perf_counter()
+            store = DurableStore(path, checkpoint_every=0)
+            replay_s = time.perf_counter() - started
+            recovered_txns = store.stats.recovered_txns
+            store.close()
+            # A checkpoint collapses the replay: reopen, snapshot, retime.
+            store = DurableStore(path, checkpoint_every=0)
+            store.checkpoint()
+            store.close()
+            started = time.perf_counter()
+            store = DurableStore(path, checkpoint_every=0)
+            checkpointed_s = time.perf_counter() - started
+            assert store.stats.recovered_txns == 0, (
+                "nothing to replay after a checkpoint"
+            )
+            store.close()
+            rows.append(
+                {
+                    "txns": n,
+                    "wal_records": wal_records,
+                    "recovered_txns": recovered_txns,
+                    "replay_s": replay_s,
+                    "after_checkpoint_s": checkpointed_s,
+                }
+            )
+        finally:
+            shutil.rmtree(path, ignore_errors=True)
+    return rows
+
+
+def run_hit_rate():
+    rows = []
+    for pool_size in POOL_SIZES:
+        path = tempfile.mkdtemp(prefix="bench-pool-")
+        try:
+            db, engine = _build(path, pool_size=pool_size)
+            _stream(db, engine, N_TXNS)
+            stats = db.durable.stats
+            rows.append(
+                {
+                    "pool_size": pool_size,
+                    "hit_rate": stats.hit_rate,
+                    "evictions": stats.evictions,
+                    "page_reads": stats.page_reads,
+                }
+            )
+            db.close()
+        finally:
+            shutil.rmtree(path, ignore_errors=True)
+    return rows
+
+
+def run_all():
+    return {
+        "config": {"smoke": SMOKE, "n_depts": N_DEPTS, "txns": N_TXNS},
+        "wal_overhead": run_wal_overhead(),
+        "recovery": run_recovery_time(),
+        "hit_rate": run_hit_rate(),
+    }
+
+
+def test_durability_bench(benchmark):
+    report = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    wal = report["wal_overhead"]
+    emit(format_table(
+        f"E13 — WAL overhead on the E1 stream ({N_TXNS} txns"
+        f"{', smoke' if SMOKE else ''})",
+        ["path", "wall s", "overhead", "+ms/commit", "wal records", "fsyncs"],
+        [["in-memory", f"{wal['in_memory_s']:.3f}", "1.00x", "—", "—", "—"]]
+        + [
+            [
+                f"WAL on ({mode})",
+                f"{m['seconds']:.3f}",
+                f"{m['wall_overhead']:.2f}x",
+                f"{m['ms_per_commit_added']:.2f}",
+                str(m["wal_records"]),
+                str(m["fsyncs"]),
+            ]
+            for mode, m in wal["modes"].items()
+        ],
+    ))
+    emit(format_table(
+        "E13 — recovery time vs WAL length (uncheckpointed tail)",
+        ["txns", "wal records", "replayed", "replay s", "after checkpoint s"],
+        [
+            [
+                str(r["txns"]), str(r["wal_records"]), str(r["recovered_txns"]),
+                f"{r['replay_s']:.4f}", f"{r['after_checkpoint_s']:.4f}",
+            ]
+            for r in report["recovery"]
+        ],
+    ))
+    emit(format_table(
+        "E13 — buffer-pool hit rate vs pool size",
+        ["pool pages", "hit rate", "evictions", "page reads"],
+        [
+            [
+                str(r["pool_size"]), f"{r['hit_rate']:.1%}",
+                str(r["evictions"]), str(r["page_reads"]),
+            ]
+            for r in report["hit_rate"]
+        ],
+    ))
+    for mode, m in wal["modes"].items():
+        assert m["io_identical"], (
+            f"durability ({mode}) changed the simulated accounting"
+        )
+    # The overhead ceiling binds the *default* durability configuration
+    # ("normal", SQLite's NORMAL analogue). "full" pays a real fsync per
+    # sub-millisecond commit and is reported, not bounded.
+    normal = wal["modes"]["normal"]
+    assert normal["wall_overhead"] <= WAL_OVERHEAD_CEILING, (
+        f"WAL overhead {normal['wall_overhead']:.2f}x exceeds "
+        f"{WAL_OVERHEAD_CEILING}x on the E1 stream"
+    )
+    # Replay after a checkpoint must not scale with the pre-checkpoint log.
+    for r in report["recovery"]:
+        assert r["recovered_txns"] >= r["txns"]  # stream txns (+ setup loads)
+    if not SMOKE:
+        _RESULTS_FILE.write_text(json.dumps(report, indent=2) + "\n")

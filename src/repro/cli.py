@@ -176,6 +176,7 @@ def run_stream(
     emps_per_dept: int = 10,
     seed: int = 0,
     trace_path: str | None = None,
+    durable_path: str | None = None,
 ) -> str:
     """Commit a random paper-workload stream through the engine.
 
@@ -189,6 +190,11 @@ def run_stream(
     and writes the span tree as JSON to that path. The report text is
     byte-identical with and without tracing (CI asserts this) — tracing
     observes the commits, it never changes them.
+
+    ``durable_path`` routes every commit through the WAL-protected page
+    store at that directory (``run --durable DIR``). The stream report is
+    unchanged — the paper's simulated accounting is durable-neutral — and
+    a trailing ``durable:`` line reports the actual pager traffic.
     """
     import random
 
@@ -207,12 +213,15 @@ def run_stream(
 
     if policy not in ("immediate", "deferred", "enforce"):
         raise ValueError(f"unknown policy {policy!r}")
-    db = Database()
-    data = generate_corporate_db(
-        n_depts, emps_per_dept, seed=seed, budget_range=(800, 1200)
-    )
-    db.create_relation("Dept", DEPT_SCHEMA, data["Dept"], indexes=[["DName"]])
-    db.create_relation("Emp", EMP_SCHEMA, data["Emp"], indexes=[["DName"]])
+    db = Database(durable_path=durable_path)
+    if "Emp" not in db:
+        # A recovered durable directory keeps its relations; otherwise
+        # seed the corporate database as usual.
+        data = generate_corporate_db(
+            n_depts, emps_per_dept, seed=seed, budget_range=(800, 1200)
+        )
+        db.create_relation("Dept", DEPT_SCHEMA, data["Dept"], indexes=[["DName"]])
+        db.create_relation("Emp", EMP_SCHEMA, data["Emp"], indexes=[["DName"]])
     system = AssertionSystem(
         db, [DEPT_CONSTRAINT], paper_transactions(), enforce=(policy == "enforce")
     )
@@ -280,6 +289,9 @@ def run_stream(
         lines.append(f"  {name}: {count} violating rows entered")
     for name, count in sorted(report.cleared_violations.items()):
         lines.append(f"  {name}: {count} violating rows cleared")
+    if db.durable is not None:
+        lines.append(f"durable: {db.durable.stats.describe()}")
+        db.close()
     return "\n".join(lines)
 
 
@@ -291,6 +303,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             seed=args.seed,
             trace_path=args.trace,
+            durable_path=args.durable,
         )
     )
     if args.trace:
@@ -342,10 +355,10 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_shell(_args: argparse.Namespace) -> int:  # pragma: no cover - interactive
+def _cmd_shell(args: argparse.Namespace) -> int:  # pragma: no cover - interactive
     from repro.shell import run_repl
 
-    return run_repl()
+    return run_repl(durable_path=args.durable)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -386,9 +399,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--trace", metavar="OUT.json", default=None,
         help="record a span trace of the run and write it as JSON",
     )
+    run.add_argument(
+        "--durable", metavar="DIR", default=None,
+        help="WAL-protected page storage at DIR (recovers a previous run)",
+    )
     run.set_defaults(func=_cmd_run)
     shell = sub.add_parser(
         "shell", help="interactive SQL shell over a maintained database"
+    )
+    shell.add_argument(
+        "--durable", metavar="DIR", default=None,
+        help="durable session: WAL-protected pages at DIR, \\checkpoint enabled",
     )
     shell.set_defaults(func=_cmd_shell)
     args = parser.parse_args(argv)

@@ -29,28 +29,51 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.ivm.deferred import DeferredMaintainer
 
 
+def _rollback(engine: "Engine", undo: UndoLog, reason: str) -> None:
+    """Shared failure path: undo everything (journaling rollback progress
+    into the WAL when durable) and discard the durable transaction."""
+    durable = engine.db.durable
+    with engine.tracer.span("rollback", reason=reason):
+        undo.rollback(journal=durable.journal_undo if durable is not None else None)
+    if durable is not None:
+        durable.abort()
+
+
 def _commit_through_maintainer(
     engine: "Engine", txn: Transaction, policy_label: str = "immediate"
 ) -> TransactionResult:
     """The shared commit pipeline: scoped I/O, undo journal, violation
-    report. A storage error mid-apply rolls back the applied prefix before
-    propagating, so even failed commits leave a consistent state.
+    report. *Everything* between begin and the result — the maintainer
+    apply, the assertion check, and the durable WAL/page commit — sits
+    inside one rollback guard: an exception from any of them rolls back
+    the applied base/view deltas before propagating, so even failed
+    commits leave a consistent state. (Guarding only the apply would let
+    a raising assertion check strand the applied deltas with the undo log
+    dropped.)
 
     The "txn" span wraps exactly the scoped region plus the assertion
     check, so its measured I/O equals the commit's ``TransactionResult.io``
-    — the tie-out the observability layer promises."""
+    — the tie-out the observability layer promises. The durable commit is
+    outside the scoped region and never charges the I/O counter: actual
+    page traffic is accounted separately in ``PagerStats``."""
     tracer = engine.tracer
     undo = UndoLog()
+    durable = engine.db.durable
     with tracer.span("txn", txn=txn.type_name, policy=policy_label) as span:
-        with engine.db.counter.scoped() as scope:
-            try:
+        if durable is not None:
+            durable.begin(txn.type_name)
+        try:
+            with engine.db.counter.scoped() as scope:
                 view_deltas = engine.apply_with_undo(txn, undo)
-            except Exception:
-                with tracer.span("rollback", reason="storage-error"):
-                    undo.rollback()
-                raise
-            with tracer.span("assertion_check", assertions=len(engine.assertion_roots)):
-                new, cleared = engine.violations(view_deltas)
+                with tracer.span(
+                    "assertion_check", assertions=len(engine.assertion_roots)
+                ):
+                    new, cleared = engine.violations(view_deltas)
+            if durable is not None:
+                durable.commit(tracer=tracer)
+        except Exception:
+            _rollback(engine, undo, reason="commit-error")
+            raise
         span.annotate(outcome="committed")
     return TransactionResult(
         txn=txn,
@@ -111,30 +134,39 @@ class EnforcingPolicy(MaintenancePolicy):
     def commit(self, engine: "Engine", txn: Transaction) -> TransactionResult:
         """Apply, check assertion roots, and roll back atomically on entry
         of any violation."""
+        from repro.constraints.assertions import AssertionViolation
+
         tracer = engine.tracer
         undo = UndoLog()
+        durable = engine.db.durable
         with tracer.span("txn", txn=txn.type_name, policy="enforce") as span:
-            with engine.db.counter.scoped() as scope:
-                try:
+            if durable is not None:
+                durable.begin(txn.type_name)
+            try:
+                with engine.db.counter.scoped() as scope:
                     view_deltas = engine.apply_with_undo(txn, undo)
-                except Exception:
-                    with tracer.span("rollback", reason="storage-error"):
-                        undo.rollback()
-                    raise
-                with tracer.span(
-                    "assertion_check", assertions=len(engine.assertion_roots)
-                ):
-                    new, cleared = engine.violations(view_deltas)
-            if new:
-                # The attempted maintenance work stays charged (scope.stats
-                # already measured it); the rollback itself is uncharged.
-                with tracer.span("rollback", reason="assertion-violation"):
-                    undo.rollback()
-                from repro.constraints.assertions import AssertionViolation
-
-                name = min(new)
-                span.annotate(outcome="rejected", violation=name)
-                raise AssertionViolation(name, new[name])
+                    with tracer.span(
+                        "assertion_check", assertions=len(engine.assertion_roots)
+                    ):
+                        new, cleared = engine.violations(view_deltas)
+                if new:
+                    # The attempted maintenance work stays charged
+                    # (scope.stats already measured it); the rollback
+                    # itself is uncharged.
+                    _rollback(engine, undo, reason="assertion-violation")
+                    name = min(new)
+                    span.annotate(outcome="rejected", violation=name)
+                    raise AssertionViolation(name, new[name])
+                if durable is not None:
+                    durable.commit(tracer=tracer)
+            except AssertionViolation:
+                raise  # already rolled back above
+            except Exception:
+                # The assertion check (and the durable commit) must be
+                # covered too: a raising check would otherwise strand the
+                # applied deltas with the undo log dropped.
+                _rollback(engine, undo, reason="commit-error")
+                raise
             span.annotate(outcome="committed")
         return TransactionResult(
             txn=txn,
@@ -186,12 +218,24 @@ class DeferredPolicy(MaintenancePolicy):
         return TransactionResult(txn=txn, committed=True, deferred=True)
 
     def flush(self, engine: "Engine") -> TransactionResult | None:
-        """Compose the queue into one transaction and commit it now."""
+        """Compose the queue into one transaction and commit it now.
+
+        ``compose()`` drains the queue before the commit runs, so a commit
+        that raises must hand the batch back (the commit already rolled
+        the database back) — otherwise a storage error mid-flush silently
+        loses every queued transaction. After the error propagates,
+        ``pending`` still counts the batch and a retry can succeed."""
         assert self._deferred is not None, "policy used before bind()"
         combined = self._deferred.compose()
         if combined is None:
             return None
-        return _commit_through_maintainer(engine, combined, policy_label="deferred-flush")
+        try:
+            return _commit_through_maintainer(
+                engine, combined, policy_label="deferred-flush"
+            )
+        except Exception:
+            self._deferred.requeue(combined)
+            raise
 
     @property
     def pending(self) -> int:

@@ -115,11 +115,28 @@ class DeferredMaintainer:
             return None
         return Transaction(f"__batch_{self._flush_count}", combined_deltas)
 
+    def requeue(self, txn: Transaction) -> None:
+        """Put a composed-but-uncommitted batch back at the queue head.
+
+        The failure path of a flush: compose() drains the queue before the
+        commit runs, so a commit that raises (storage error, assertion
+        violation) must hand its batch back or the queued work is silently
+        lost. Re-queueing at the front keeps composition order — anything
+        enqueued after the failure composes behind the restored batch.
+        """
+        self._queue.insert(0, txn)
+
     def flush(self) -> Transaction | None:
         """Commit the composed batch through the engine; returns the
-        combined transaction."""
+        combined transaction. If the commit raises, the batch is re-queued
+        (the commit already rolled the database back) and the error
+        propagates — no queued work is lost, and a retry is possible."""
         combined = self.compose()
         if combined is None:
             return None
-        self.engine.execute(combined)
+        try:
+            self.engine.execute(combined)
+        except Exception:
+            self.requeue(combined)
+            raise
         return combined

@@ -65,6 +65,7 @@ DELETE FROM t WHERE …
 \\io       cumulative page I/O       \\check   current assertion violations
 \\explain [txn]   update track with estimated I/O costs
 \\profile <DML>   execute a statement under EXPLAIN ANALYZE
+\\checkpoint      snapshot durable pages now (durable sessions only)
 \\metrics  engine metrics            \\help    this text
 \\quit     exit"""
 
@@ -88,13 +89,22 @@ class ShellSession:
         emps_per_dept: int = 10,
         seed: int = 0,
         enforce: bool = False,
+        durable_path: str | None = None,
     ) -> None:
-        self.db = Database()
-        data = generate_corporate_db(
-            n_depts, emps_per_dept, seed=seed, budget_range=(800, 1200)
-        )
-        self.db.create_relation("Dept", DEPT_SCHEMA, data["Dept"], indexes=[["DName"]])
-        self.db.create_relation("Emp", EMP_SCHEMA, data["Emp"], indexes=[["DName"]])
+        self.db = Database(durable_path=durable_path)
+        if "Emp" not in self.db:
+            # Fresh database (or a non-durable session): seed the paper's
+            # corporate data. A recovered durable session keeps its
+            # relations — the WAL replay is authoritative, not the seed.
+            data = generate_corporate_db(
+                n_depts, emps_per_dept, seed=seed, budget_range=(800, 1200)
+            )
+            self.db.create_relation(
+                "Dept", DEPT_SCHEMA, data["Dept"], indexes=[["DName"]]
+            )
+            self.db.create_relation(
+                "Emp", EMP_SCHEMA, data["Emp"], indexes=[["DName"]]
+            )
         self.system = AssertionSystem(
             self.db, [DEPT_CONSTRAINT], paper_transactions(), enforce=enforce
         )
@@ -201,6 +211,20 @@ class ShellSession:
             )
         if name == "\\io":
             return ShellResult("meta", str(self.engine.io_snapshot()))
+        if name == "\\checkpoint":
+            durable = self.db.durable
+            if durable is None:
+                return ShellResult(
+                    "error",
+                    "not a durable session (start with REPRO_DURABLE=<dir> "
+                    "or Database(durable_path=...))",
+                )
+            pages = durable.checkpoint(tracer=self.engine.tracer)
+            return ShellResult(
+                "meta",
+                f"checkpoint gen {durable.generation}: {pages} pages written; "
+                f"{durable.stats.describe()}",
+            )
         if name == "\\explain":
             return self._meta_explain(command)
         if name == "\\profile":
@@ -269,9 +293,12 @@ class ShellSession:
         return ShellResult("dml", text, io_cost=result.io.total)
 
 
-def run_repl() -> int:  # pragma: no cover - interactive loop
-    session = ShellSession()
+def run_repl(durable_path: str | None = None) -> int:  # pragma: no cover - interactive loop
+    session = ShellSession(durable_path=durable_path)
     print("repro shell — the paper's corporate database with DeptConstraint installed")
+    if session.db.durable is not None:
+        state = "recovered" if session.db.recovered else "fresh"
+        print(f"durable session at {session.db.durable.path} ({state})")
     print("type \\help for commands")
     while True:
         try:

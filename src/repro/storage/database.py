@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.algebra.multiset import Multiset, Row
 from repro.algebra.schema import Schema
 from repro.storage.pager import IOCounter
 from repro.storage.relation import StorageError, StoredRelation
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.storage.durable import DurableStore
 
 
 class Database:
@@ -17,11 +20,61 @@ class Database:
     (``multiset``): full re-evaluation is the correctness oracle, not a
     priced operation. Charged access goes through the relations' ``scan`` /
     ``lookup`` methods.
+
+    Durability is opt-in: ``durable_path`` (or the ``REPRO_DURABLE``
+    environment variable) attaches a :class:`~repro.storage.durable.
+    DurableStore` that shadows every committed change onto WAL-protected
+    pages. The in-memory relations stay authoritative — and the paper's
+    :class:`IOCounter` accounting is untouched by the shadow — so a
+    non-durable database behaves bit-identically with the switch off. If
+    the directory holds a previous incarnation, its state is recovered
+    here (WAL replay) and the relations are rebuilt before any caller
+    sees the database.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        durable_path: str | None = None,
+        pool_size: int | None = None,
+        checkpoint_every: int | None = None,
+        wal_sync: str | None = None,
+    ) -> None:
         self.counter = IOCounter()
         self._relations: dict[str, StoredRelation] = {}
+        self.durable: "DurableStore | None" = None
+        if durable_path is None:
+            from repro.storage.durable import env_durable_path
+
+            durable_path = env_durable_path()
+        if durable_path:
+            from repro.storage.durable import DurableStore
+
+            self.durable = DurableStore(
+                durable_path,
+                pool_size=pool_size,
+                checkpoint_every=checkpoint_every,
+                wal_sync=wal_sync,
+            )
+            self._restore(self.durable)
+
+    def _restore(self, store: "DurableStore") -> None:
+        """Rebuild in-memory relations from a recovered durable store.
+
+        The journal hook is attached only *after* each relation's
+        recovered contents are loaded — restoring must not re-journal
+        what the WAL already holds."""
+        for name, schema, indexes in store.relations():
+            relation = StoredRelation(name, schema, self.counter)
+            relation.load_multiset(store.contents(name))
+            for cols in indexes:
+                relation.create_index(cols)
+            relation._journal = store
+            self._relations[name] = relation
+
+    @property
+    def recovered(self) -> bool:
+        """True when this database was rebuilt from a durable directory."""
+        return self.durable is not None and self.durable.recovered
 
     def create_relation(
         self,
@@ -33,6 +86,11 @@ class Database:
         if name in self._relations:
             raise StorageError(f"relation {name!r} already exists")
         relation = StoredRelation(name, schema, self.counter)
+        if self.durable is not None:
+            # DDL record first, then the journal hook: the initial load and
+            # index builds below journal themselves in WAL order.
+            self.durable.on_create(name, schema)
+            relation._journal = self.durable
         relation.load(rows)
         for cols in indexes:
             relation.create_index(cols)
@@ -43,12 +101,26 @@ class Database:
         if name not in self._relations:
             raise StorageError(f"relation {name!r} does not exist")
         del self._relations[name]
+        if self.durable is not None:
+            self.durable.on_drop(name)
 
     def relation(self, name: str) -> StoredRelation:
         try:
             return self._relations[name]
         except KeyError:
             raise StorageError(f"relation {name!r} does not exist") from None
+
+    def checkpoint(self) -> int:
+        """Snapshot durable pages now (no-op without a durable store);
+        returns the number of pages written."""
+        if self.durable is None:
+            return 0
+        return self.durable.checkpoint()
+
+    def close(self) -> None:
+        """Release durable file handles (no-op for in-memory databases)."""
+        if self.durable is not None:
+            self.durable.close()
 
     def __contains__(self, name: str) -> bool:
         return name in self._relations

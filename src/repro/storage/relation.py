@@ -52,6 +52,10 @@ class StoredRelation:
         self._key_maps: dict[frozenset[str], dict[tuple, int]] = {
             key: {} for key in schema.keys
         }
+        # Optional durability journal (DurableStore duck type). Set by the
+        # Database after the relation's recovered contents are loaded, so
+        # bootstrap loads are never double-journaled.
+        self._journal = None
 
     # -- indexes -----------------------------------------------------------------
 
@@ -62,6 +66,8 @@ class StoredRelation:
         index = HashIndex(self.schema, cols, self.counter)
         index.rebuild(self._data)
         self._indexes[cols] = index
+        if self._journal is not None:
+            self._journal.on_index(self.name, cols)
         return index
 
     def index_on(self, columns: Iterable[str]) -> HashIndex | None:
@@ -77,14 +83,24 @@ class StoredRelation:
     def load(self, rows: Iterable[Row]) -> None:
         """Bulk load (uncharged — initial materialization is outside the
         paper's maintenance accounting)."""
+        loaded = Multiset()
         with self.counter.suspended():
             for row in rows:
-                self._apply_row(self.schema.validate_tuple(row), 1)
+                row = self.schema.validate_tuple(row)
+                self._apply_row(row, 1)
+                loaded.add(row, 1)
+        if self._journal is not None and loaded:
+            self._journal.on_delta(self.name, Delta(inserts=loaded))
 
     def load_multiset(self, data: Multiset) -> None:
+        loaded = Multiset()
         with self.counter.suspended():
             for row, count in data.items():
-                self._apply_row(self.schema.validate_tuple(row), count)
+                row = self.schema.validate_tuple(row)
+                self._apply_row(row, count)
+                loaded.add(row, count)
+        if self._journal is not None and loaded:
+            self._journal.on_delta(self.name, Delta(inserts=loaded))
 
     def contents(self) -> Multiset:
         """Uncharged copy of the contents (verification / snapshots)."""
@@ -155,6 +171,8 @@ class StoredRelation:
                 for row, count in reversed(applied):
                     self._apply_row(row, -count)
             raise
+        if self._journal is not None:
+            self._journal.on_delta(self.name, delta)
         return delta.inverted()
 
     def _charge_and_apply_modifies(

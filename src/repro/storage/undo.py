@@ -11,7 +11,7 @@ cost accounting.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.ivm.delta import Delta
@@ -36,16 +36,34 @@ class UndoLog:
     def entries(self) -> tuple[tuple["StoredRelation", "Delta"], ...]:
         return tuple(self._entries)
 
-    def rollback(self) -> None:
+    def rollback(
+        self,
+        journal: "Callable[[StoredRelation, Delta], None] | None" = None,
+    ) -> None:
         """Undo every journaled delta, newest first, uncharged.
 
-        After rollback the log is empty; rolling back an empty log is a
-        no-op, so the call is idempotent.
+        Each entry is *peeked*, applied, and only then popped: if
+        ``apply_delta`` raises mid-rollback the failing entry (and
+        everything older) stays in the log, so the rollback can be
+        resumed by calling again — a pop-first loop would silently lose
+        the entry it was undoing. After a complete rollback the log is
+        empty; rolling back an empty log is a no-op, so the call is
+        idempotent.
+
+        ``journal`` (when given) is called with each entry *after* its
+        inverse has been applied — the durable layer uses it to write
+        rollback progress into the WAL.
         """
         while self._entries:
-            relation, inverse = self._entries.pop()
+            relation, inverse = self._entries[-1]
             with relation.counter.suspended():
                 relation.apply_delta(inverse)
+            # Pop before journaling: the inverse is applied either way, and
+            # a journal failure must not leave an entry that a resumed
+            # rollback would apply a second time.
+            self._entries.pop()
+            if journal is not None:
+                journal(relation, inverse)
 
     def clear(self) -> None:
         """Drop the journal without undoing (after a successful commit)."""

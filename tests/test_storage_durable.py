@@ -1,0 +1,351 @@
+"""Units for the durable layer: pages, WAL, buffer pool, DurableStore.
+
+The crash-point and policy matrices live in ``test_fault_injection.py``
+and ``tests/property/test_crash_recovery.py``; this file covers the
+building blocks and the durability invariants that don't need a crash:
+round trips, torn-tail healing, eviction/overlay spill, checkpoint
+generations, recover-twice idempotence, and the accounting-neutrality
+contract (the simulated Section 3.6 I/O numbers are bit-identical with
+durability on or off).
+"""
+
+import os
+
+import pytest
+
+from repro.algebra.multiset import Multiset
+from repro.algebra.schema import Schema
+from repro.algebra.types import DataType
+from repro.ivm.delta import Delta
+from repro.storage.database import Database
+from repro.storage.durable import DurableStore, env_durable_path
+from repro.storage.pager import (
+    BufferPool,
+    Page,
+    PageError,
+    Pager,
+    PagerStats,
+    pack_record,
+    unpack_record,
+)
+from repro.storage.relation import StoredRelation
+from repro.storage.undo import UndoLog
+from repro.storage.wal import WriteAheadLog, decode_delta, encode_delta
+
+SCHEMA = Schema.of(("a", DataType.STRING), ("b", DataType.INT), keys=[["a"]])
+
+
+# -- pages ---------------------------------------------------------------------------
+
+
+def test_page_round_trip_and_dead_slot_reuse():
+    page = Page(256)
+    s0 = page.add(pack_record([["x", 1], 1]))
+    s1 = page.add(pack_record([["y", 2], 3]))
+    assert unpack_record(page.get(s1)) == (("y", 2), 3)  # codec re-tuples
+    page.mark_dead(s0)
+    assert [slot for slot, _ in page.records()] == [s1]
+    s2 = page.add(pack_record([["z", 9], 1]))
+    assert s2 == s0  # dead slot reused
+    restored = Page.from_bytes(page.to_bytes(), 256)
+    assert sorted(restored.records()) == sorted(page.records())
+    assert restored.free == page.free
+
+
+def test_page_rejects_oversized_record():
+    page = Page(64)
+    with pytest.raises(PageError):
+        page.add(b"x" * 100)
+
+
+def test_pager_truncates_torn_trailing_page(tmp_path):
+    path = str(tmp_path / "pages")
+    pager = Pager(path, 128, create=True)
+    pager.append_page(Page(128).to_bytes())
+    pager.close()
+    with open(path, "ab") as f:
+        f.write(b"\x01" * 57)  # torn partial page
+    reopened = Pager(path, 128)
+    assert reopened.n_pages == 1
+    reopened.close()
+
+
+# -- WAL -----------------------------------------------------------------------------
+
+
+def test_wal_append_replay_round_trip(tmp_path):
+    wal = WriteAheadLog(str(tmp_path / "wal"))
+    records = [{"t": "begin", "txn": "t1"}, {"t": "commit", "txn": "t1"}]
+    for r in records:
+        wal.append(r)
+    wal.sync()
+    assert list(wal.replay()) == records
+    wal.close()
+
+
+def test_wal_truncates_torn_tail(tmp_path):
+    path = str(tmp_path / "wal")
+    wal = WriteAheadLog(path)
+    wal.append({"t": "begin", "txn": "t1"})
+    wal.sync()
+    intact = wal.size
+    wal.close()
+    with open(path, "ab") as f:
+        f.write(b"\xff\xff\x03")  # garbage half-frame
+    wal = WriteAheadLog(path)
+    assert list(wal.replay()) == [{"t": "begin", "txn": "t1"}]
+    assert wal.size == intact  # file healed in place
+    wal.close()
+
+
+def test_wal_delta_codec_round_trips_and_is_deterministic():
+    delta = Delta(
+        inserts=Multiset({("b", 2): 1, ("a", 1): 2}),
+        deletes=Multiset({("c", 3): 1}),
+        modifies=[(("d", 4), ("d", 5))],
+    )
+    encoded = encode_delta(delta)
+    assert encoded == encode_delta(delta.inverted().inverted())
+    decoded = decode_delta(encoded)
+    assert decoded.inserts == delta.inserts
+    assert decoded.deletes == delta.deletes
+    assert decoded.modifies == delta.modifies
+    assert all(isinstance(r, tuple) for r in decoded.inserts.rows())
+
+
+# -- buffer pool ---------------------------------------------------------------------
+
+
+def test_buffer_pool_hits_misses_and_eviction_spill(tmp_path):
+    stats = PagerStats()
+    overlay = Pager(str(tmp_path / "overlay"), 128, create=True, stats=stats)
+    pool = BufferPool(2, stats, lambda pid: None, overlay, 128)
+    pages = {}
+    for pid in range(3):  # capacity 2 -> the third insert evicts
+        page = Page(128)
+        page.add(pack_record([[f"r{pid}"], 1]))
+        pages[pid] = sorted(page.records())
+        pool.put_new(pid, page)
+    assert stats.evictions >= 1
+    assert len(pool) == 2
+    # The evicted dirty page comes back bit-identical from the overlay.
+    for pid in range(3):
+        assert sorted(pool.get(pid).records()) == pages[pid]
+    assert stats.pool_misses >= 1
+    before = stats.pool_hits
+    pool.get(2)
+    assert stats.pool_hits == before + 1
+    overlay.close()
+
+
+# -- durable store -------------------------------------------------------------------
+
+
+def _store(tmp_path, **kw) -> DurableStore:
+    kw.setdefault("checkpoint_every", 0)  # explicit checkpoints only
+    return DurableStore(str(tmp_path / "d"), page_size=512, **kw)
+
+
+def _commit(store, rel, delta, txn="t"):
+    store.begin(txn)
+    store.on_delta(rel, delta)
+    store.commit()
+
+
+def test_durable_store_recovers_committed_deltas(tmp_path):
+    store = _store(tmp_path)
+    store.on_create("R", SCHEMA)
+    _commit(store, "R", Delta.insertion([("a", 1), ("b", 2)]), "t1")
+    _commit(store, "R", Delta.modification([(("a", 1), ("a", 7))]), "t2")
+    _commit(store, "R", Delta.deletion([("b", 2)]), "t3")
+    store.close()
+
+    recovered = _store(tmp_path)
+    assert recovered.recovered
+    assert recovered.stats.recovered_txns == 3
+    assert sorted(recovered.contents("R").items()) == [(("a", 7), 1)]
+    recovered.close()
+
+
+def test_durable_store_uncommitted_buffer_is_invisible(tmp_path):
+    store = _store(tmp_path)
+    store.on_create("R", SCHEMA)
+    _commit(store, "R", Delta.insertion([("a", 1)]), "t1")
+    store.begin("t2")
+    store.on_delta("R", Delta.insertion([("z", 9)]))
+    store.close()  # crash before commit: nothing reached the WAL
+
+    recovered = _store(tmp_path)
+    assert sorted(recovered.contents("R").rows()) == [("a", 1)]
+    recovered.close()
+
+
+def test_checkpoint_rolls_generation_and_truncates_overlay(tmp_path):
+    store = _store(tmp_path)
+    store.on_create("R", SCHEMA)
+    _commit(store, "R", Delta.insertion([(f"r{i}", i) for i in range(20)]), "t1")
+    assert store.generation == 0
+    pages = store.checkpoint()
+    assert pages >= 1
+    assert store.generation == 1
+    assert os.path.exists(os.path.join(store.path, "pages.1"))
+    # More commits after the checkpoint land in the WAL tail.
+    _commit(store, "R", Delta.deletion([("r0", 0)]), "t2")
+    store.close()
+
+    recovered = _store(tmp_path)
+    assert recovered.generation == 1
+    assert recovered.contents("R").total() == 19
+    assert recovered.stats.recovered_txns == 1  # only the post-checkpoint txn
+    recovered.close()
+
+
+def test_recovering_twice_is_a_no_op(tmp_path):
+    store = _store(tmp_path)
+    store.on_create("R", SCHEMA)
+    _commit(store, "R", Delta.insertion([("a", 1), ("b", 2)]), "t1")
+    store.checkpoint()
+    _commit(store, "R", Delta.insertion([("c", 3)]), "t2")
+    store.close()
+
+    def files():
+        return {
+            name: open(os.path.join(str(tmp_path / "d"), name), "rb").read()
+            for name in sorted(os.listdir(str(tmp_path / "d")))
+        }
+
+    first = _store(tmp_path)
+    state1, disk1 = sorted(first.contents("R").items()), files()
+    first.close()
+    second = _store(tmp_path)
+    state2, disk2 = sorted(second.contents("R").items()), files()
+    second.close()
+    assert state1 == state2
+    assert disk1 == disk2
+
+
+def test_drop_and_index_survive_recovery(tmp_path):
+    store = _store(tmp_path)
+    store.on_create("R", SCHEMA)
+    store.on_create("S", SCHEMA)
+    store.on_index("R", ("a",))
+    store.on_index("R", ("a",))  # idempotent
+    _commit(store, "R", Delta.insertion([("a", 1)]))
+    store.on_drop("S")
+    store.close()
+
+    recovered = _store(tmp_path)
+    catalog = {name: indexes for name, _, indexes in recovered.relations()}
+    assert catalog == {"R": [["a"]]}
+    recovered.close()
+
+
+def test_tiny_pool_spills_and_still_recovers(tmp_path):
+    store = _store(tmp_path, pool_size=1)
+    store.on_create("R", SCHEMA)
+    rows = [(f"row{i}", i) for i in range(200)]  # many pages at 512 B
+    _commit(store, "R", Delta.insertion(rows), "t1")
+    assert store.stats.evictions > 0
+    store.checkpoint()
+    _commit(store, "R", Delta.deletion(rows[:5]), "t2")
+    store.close()
+
+    recovered = _store(tmp_path, pool_size=1)
+    assert sorted(recovered.contents("R").rows()) == sorted(rows[5:])
+    recovered.close()
+
+
+# -- Database integration -------------------------------------------------------------
+
+
+def test_database_durable_round_trip(tmp_path):
+    path = str(tmp_path / "db")
+    db = Database(durable_path=path, checkpoint_every=0)
+    assert not db.recovered
+    db.create_relation("R", SCHEMA, [("a", 1), ("b", 2)], indexes=[["a"]])
+    db.relation("R").apply_delta(Delta.modification([(("b", 2), ("b", 9))]))
+    expected = sorted(db.relation("R").contents().items())
+    db.close()
+
+    db2 = Database(durable_path=path, checkpoint_every=0)
+    assert db2.recovered
+    assert sorted(db2.relation("R").contents().items()) == expected
+    assert db2.relation("R").indexes and list(db2.relation("R").indexes)[0]
+    db2.close()
+
+
+def test_durability_is_accounting_neutral(tmp_path):
+    """The simulated Section 3.6 numbers never see the durable layer."""
+
+    def run(durable_path):
+        db = Database(durable_path=durable_path, checkpoint_every=2)
+        db.create_relation("R", SCHEMA, [(f"r{i}", i) for i in range(30)])
+        rel = db.relation("R")
+        rel.create_index(["a"])
+        rel.apply_delta(Delta.insertion([("x", 1)]))
+        rel.apply_delta(Delta.deletion([("r0", 0)]))
+        stats = db.counter.snapshot()
+        db.close()
+        return stats
+
+    baseline = run(None)
+    durable = run(str(tmp_path / "db"))
+    assert durable == baseline
+    assert durable.total > 0  # the comparison is not vacuous
+
+
+def test_undo_rollback_retains_entry_on_apply_failure():
+    """Satellite: a mid-rollback apply failure must not lose the entry.
+
+    The old pop-before-apply loop dropped the entry it was undoing, so a
+    failure left the log missing exactly the delta that was never rolled
+    back. Peek-apply-pop keeps it, and the rollback is resumable."""
+    rel = StoredRelation("R", SCHEMA)
+    rel.load([("a", 1)])
+    undo = UndoLog()
+    undo.record(rel, rel.apply_delta(Delta.insertion([("b", 2)])))
+    # Poison the newest entry: its inverse deletes a row that isn't there.
+    undo.record(rel, Delta.deletion([("ghost", 0)]))
+
+    with pytest.raises(Exception):
+        undo.rollback()
+    assert len(undo) == 2  # nothing lost, including the failing entry
+
+    # Repair the precondition and resume: the rollback completes.
+    rel.apply_delta(Delta.insertion([("ghost", 0)]))
+    undo.rollback()
+    assert len(undo) == 0
+    assert sorted(rel.contents().rows()) == [("a", 1)]
+
+
+def test_undo_rollback_journal_failure_cannot_double_apply():
+    """A journal failure interrupts the rollback *after* the pop, so
+    resuming never applies the same inverse twice."""
+    rel = StoredRelation("R", SCHEMA)
+    rel.load([("a", 1)])
+    undo = UndoLog()
+    undo.record(rel, rel.apply_delta(Delta.insertion([("b", 2)])))
+    undo.record(rel, rel.apply_delta(Delta.insertion([("c", 3)])))
+
+    calls = {"n": 0}
+
+    def flaky_journal(relation, inverse):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise OSError("disk gone")
+
+    with pytest.raises(OSError):
+        undo.rollback(journal=flaky_journal)
+    assert len(undo) == 1  # the journaled-but-failed step was popped
+    undo.rollback(journal=flaky_journal)
+    assert len(undo) == 0
+    assert sorted(rel.contents().rows()) == [("a", 1)]
+
+
+def test_env_durable_path(monkeypatch):
+    monkeypatch.delenv("REPRO_DURABLE", raising=False)
+    assert env_durable_path() is None
+    monkeypatch.setenv("REPRO_DURABLE", "1")
+    assert env_durable_path() == ".repro-durable"
+    monkeypatch.setenv("REPRO_DURABLE", "/tmp/custom")
+    assert env_durable_path() == "/tmp/custom"
