@@ -49,7 +49,10 @@ def _commit_through_maintainer(
     the applied base/view deltas before propagating, so even failed
     commits leave a consistent state. (Guarding only the apply would let
     a raising assertion check strand the applied deltas with the undo log
-    dropped.)
+    dropped.) The durable commit only ever raises *before* its WAL
+    barrier — deltas are size-validated pre-log, and a post-barrier page
+    failure is absorbed by the store, which rolls forward from the log —
+    so this rollback never contradicts a durable commit record.
 
     The "txn" span wraps exactly the scoped region plus the assertion
     check, so its measured I/O equals the commit's ``TransactionResult.io``

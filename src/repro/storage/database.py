@@ -6,6 +6,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.algebra.multiset import Multiset, Row
 from repro.algebra.schema import Schema
+from repro.ivm.delta import Delta
 from repro.storage.pager import IOCounter
 from repro.storage.relation import StorageError, StoredRelation
 
@@ -86,14 +87,23 @@ class Database:
         if name in self._relations:
             raise StorageError(f"relation {name!r} already exists")
         relation = StoredRelation(name, schema, self.counter)
-        if self.durable is not None:
-            # DDL record first, then the journal hook: the initial load and
-            # index builds below journal themselves in WAL order.
-            self.durable.on_create(name, schema)
-            relation._journal = self.durable
+        # Build (and validate) entirely in memory first: nothing reaches
+        # the WAL until the rows and indexes are known-good, so a failed
+        # create cannot resurrect as a phantom empty relation on recovery.
         relation.load(rows)
         for cols in indexes:
             relation.create_index(cols)
+        if self.durable is not None:
+            initial = relation.contents()
+            delta = Delta(inserts=initial)
+            # Oversized rows must reject before even the DDL is journaled.
+            self.durable.validate_delta(name, delta)
+            self.durable.on_create(name, schema)
+            for built in relation.indexes:
+                self.durable.on_index(name, built)
+            if initial:
+                self.durable.on_delta(name, delta)
+            relation._journal = self.durable
         self._relations[name] = relation
         return relation
 

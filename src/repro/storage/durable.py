@@ -9,9 +9,24 @@ traffic reported through :class:`~repro.storage.pager.PagerStats`.
 
 Commit protocol (write-ahead rule)::
 
-    begin record → one delta record per relation → commit record
+    validate deltas (size, multiplicity)  # reject-before-log
+      → begin record → one delta record per relation → commit record
       → WAL barrier                       # the commit point
       → apply deltas to pages (in pool)   # redo in place, write-behind
+
+Validation runs first because a durable commit record is replayed on
+every subsequent open: a committed delta the page layer cannot apply
+(an oversized record, a negative multiplicity) would make the directory
+permanently unopenable, so it must reject the transaction *before* any
+WAL append. Conversely, a failure *after* the barrier never raises out
+of :meth:`DurableStore.commit` — the transaction is durably committed,
+and raising would send the caller's undo-log rollback against the log
+(memory rolled back, recovery rolling forward). Instead the store marks
+itself ``failed``: later commits keep appending to the WAL but skip the
+now-diverged pages, checkpoints refuse, and the next open rebuilds the
+pages from the log. Recovery likewise skips (and records in
+``recovery_errors``) a committed delta it cannot apply, rather than
+failing every open.
 
 The barrier strength is ``wal_sync`` (after SQLite's synchronous pragma):
 ``"full"`` fsyncs every commit; ``"normal"`` (default, ``REPRO_WAL_SYNC``)
@@ -21,7 +36,9 @@ never tears one.
 
 Pages are only flushed by **checkpoints** (full snapshot into an immutable
 ``pages.<gen>`` generation file, then a ``checkpoint`` WAL record naming
-the generation and carrying the catalog + page map) or by **eviction**
+the generation and carrying the catalog + page map, then the WAL rotated
+down to just that record — replay starts there, so the log stays bounded
+by history *since* the last checkpoint) or by **eviction**
 (dirty pages spill to a scratch ``overlay`` file that is discarded on
 recovery and truncated at checkpoint — the no-steal equivalent: nothing
 uncommitted can ever reach the base pages, because nothing is applied to
@@ -150,6 +167,19 @@ def _schema_from_meta(meta: dict[str, Any]) -> Schema:
     )
 
 
+def _net(delta: Delta) -> dict[Row, int]:
+    """Net multiplicity change per row (a modify is delete-old + insert-new)."""
+    net: dict[Row, int] = {}
+    for row, count in delta.inserts.items():
+        net[row] = net.get(row, 0) + count
+    for row, count in delta.deletes.items():
+        net[row] = net.get(row, 0) - count
+    for old, new in delta.modifies:
+        net[old] = net.get(old, 0) - 1
+        net[new] = net.get(new, 0) + 1
+    return net
+
+
 class _RelState:
     """Durable-side state of one relation: its pages and row directory."""
 
@@ -201,6 +231,13 @@ class DurableStore:
         self.crash_hook = crash_hook if crash_hook is not None else _env_crash_hook()
         self.stats = PagerStats()
         self.last_commit_stats: dict[str, int] | None = None
+        #: set to the causing exception when a post-barrier page apply
+        #: failed — the pages are no longer trusted (commits keep logging,
+        #: checkpoints refuse) until the directory is reopened.
+        self.failed: Exception | None = None
+        #: committed transactions recovery could not re-apply (skip-and-
+        #: report: a damaged log entry must not make the store unopenable)
+        self.recovery_errors: list[str] = []
         self._frozen = False
         self._closed = False
 
@@ -250,6 +287,11 @@ class DurableStore:
         return Page.from_bytes(self._base_pager.read_page(idx), self.page_size)
 
     def _recover(self) -> bool:
+        # A crash mid-rotation can leave the sidecar the rotated log was
+        # being written to; the real log is still authoritative.
+        sidecar = self._wal.path + ".new"
+        if os.path.exists(sidecar):
+            os.remove(sidecar)
         records = list(self._wal.replay())  # also truncates a torn tail
         start = 0
         for i in range(len(records) - 1, -1, -1):
@@ -280,9 +322,16 @@ class DurableStore:
                     (record["rel"], decode_delta(record))
                 )
             elif kind == "commit":
-                for rel, delta in pending.pop(record["txn"], ()):
-                    self._apply_to_pages(rel, delta)
-                self.stats.recovered_txns += 1
+                try:
+                    for rel, delta in pending.pop(record["txn"], ()):
+                        self._apply_to_pages(rel, delta)
+                except Exception as exc:
+                    # Commits are size-validated before they reach the
+                    # log, so this is a legacy or damaged entry — skip
+                    # and report rather than fail every open forever.
+                    self.recovery_errors.append(f"txn {record['txn']}: {exc}")
+                else:
+                    self.stats.recovered_txns += 1
             # "undo" / "abort" / stale "checkpoint": rollback progress and
             # superseded snapshots — redo replay ignores both (an
             # uncommitted transaction's forward deltas were never logged,
@@ -367,7 +416,13 @@ class DurableStore:
         self._auto_seq += 1
         self.begin(f"__auto_{self._auto_seq}")
         self._buffer.append((name, delta))
-        self.commit()
+        try:
+            self.commit()
+        except Exception:
+            # A rejected singleton (oversized row) must not wedge the
+            # store behind a permanently-open auto transaction.
+            self.abort()
+            raise
 
     # -- transaction bracket ---------------------------------------------------------
 
@@ -390,6 +445,11 @@ class DurableStore:
         before = self.stats.snapshot()
         txn_id = self._active
         if self._buffer:
+            # Reject-before-log: anything the page layer cannot apply must
+            # fail here, while the WAL still knows nothing — a durable
+            # commit record is replayed on every open, so an unapplyable
+            # committed delta would brick the directory.
+            self._validate_buffer()
             self._crash("commit.wal")
             with tracer.span("wal_append", txn=txn_id, deltas=len(self._buffer)):
                 self._wal.append({"t": "begin", "txn": txn_id})
@@ -411,13 +471,31 @@ class DurableStore:
             # -------- the commit point: everything below is redo-able --------
             self._crash("commit.apply")
             with tracer.span("page_apply", deltas=len(self._buffer)):
-                for rel, delta in self._buffer:
-                    self._apply_to_pages(rel, delta)
-                    self._crash("commit.apply_mid")
+                if self.failed is None:
+                    try:
+                        for rel, delta in self._buffer:
+                            self._apply_to_pages(rel, delta)
+                            self._crash("commit.apply_mid")
+                    except CrashPoint:
+                        raise  # a simulated death unwinds like a real one
+                    except Exception as exc:
+                        # The commit record is already durable — the
+                        # transaction IS committed. Raising here would
+                        # run the caller's undo-log rollback against the
+                        # log (memory rolled back, recovery rolling
+                        # forward). Fail the page cache instead: the WAL
+                        # stays the sole truth, later commits skip the
+                        # diverged pages, checkpoints refuse, and the
+                        # next open rebuilds the pages from the log.
+                        self.failed = exc
         self._active = None
         self._buffer = []
         self._commits += 1
-        if self.checkpoint_every and self._commits % self.checkpoint_every == 0:
+        if (
+            self.failed is None
+            and self.checkpoint_every
+            and self._commits % self.checkpoint_every == 0
+        ):
             self.checkpoint(tracer)
         self.last_commit_stats = self.stats.since(before)
 
@@ -453,6 +531,60 @@ class DurableStore:
         )
         self._undo_journaled = True
 
+    # -- record validation (reject-before-log) -----------------------------------------
+
+    @property
+    def max_record_bytes(self) -> int:
+        """Largest packed ``[row, count]`` record one slotted page holds
+        (the page header and the slot length word subtracted)."""
+        return self.page_size - 4
+
+    def _check_record(self, rel: str, row: Row, count: int) -> None:
+        payload = pack_record([list(row), count])
+        if len(payload) > self.max_record_bytes:
+            raise PageError(
+                f"row {row!r} in {rel!r} packs to {len(payload)} bytes, over "
+                f"the {self.max_record_bytes}-byte limit of a "
+                f"{self.page_size}-byte page"
+            )
+
+    def validate_delta(
+        self, rel: str, delta: Delta, counts: dict[Row, int] | None = None
+    ) -> dict[Row, int]:
+        """Dry-run one delta's page placement; raise what apply would raise.
+
+        Runs every check :meth:`_apply_to_pages` performs (record size,
+        negative multiplicity) without touching a page, so callers can
+        reject a transaction before its commit record — or any DDL —
+        reaches the WAL. ``counts`` threads prior-delta results when
+        simulating a multi-delta buffer (pass the returned dict back in);
+        a relation not yet in the catalog simulates as empty, which is
+        what ``Database.create_relation`` needs for the initial load.
+        """
+        if counts is None:
+            counts = {}
+        state = self._rels.get(rel)
+        for row, change in _net(delta).items():
+            if change == 0:
+                continue
+            base = counts.get(row)
+            if base is None:
+                existing = state.directory.get(row) if state is not None else None
+                base = existing[2] if existing else 0
+            count = base + change
+            if count < 0:
+                raise WalError(f"negative count for {row} in {rel} during apply")
+            if count > 0:
+                self._check_record(rel, row, count)
+            counts[row] = count
+        return counts
+
+    def _validate_buffer(self) -> None:
+        shadow: dict[str, dict[Row, int]] = {}
+        for rel, delta in self._buffer:
+            self._state(rel)  # an unknown relation also rejects pre-log
+            shadow[rel] = self.validate_delta(rel, delta, shadow.get(rel))
+
     # -- page application ------------------------------------------------------------
 
     def _state(self, rel: str) -> _RelState:
@@ -463,15 +595,7 @@ class DurableStore:
 
     def _apply_to_pages(self, rel: str, delta: Delta) -> None:
         state = self._state(rel)
-        net: dict[Row, int] = {}
-        for row, count in delta.inserts.items():
-            net[row] = net.get(row, 0) + count
-        for row, count in delta.deletes.items():
-            net[row] = net.get(row, 0) - count
-        for old, new in delta.modifies:
-            net[old] = net.get(old, 0) - 1
-            net[new] = net.get(new, 0) + 1
-        for row, change in net.items():
+        for row, change in _net(delta).items():
             if change == 0:
                 continue
             existing = state.directory.get(row)
@@ -514,11 +638,21 @@ class DurableStore:
         Protocol: write all pages to ``pages.<gen+1>``, fsync, then append
         (and fsync) a ``checkpoint`` record carrying the catalog and the
         page map. Only once that record is durable does the store switch
-        generations, truncate the overlay, and delete the old generation —
-        a crash anywhere in between leaves the previous checkpoint intact.
+        generations, rotate the WAL down to just the checkpoint record
+        (replay starts there — everything earlier is dead weight),
+        truncate the overlay, and delete the old generation — a crash
+        anywhere in between leaves the previous checkpoint intact.
         Returns the number of pages written."""
         if self._frozen:
             return 0
+        if self.failed is not None:
+            # The in-pool pages diverged from the log after a post-barrier
+            # apply failure; snapshotting them would durably corrupt what
+            # the WAL can still rebuild.
+            raise WalError(
+                f"page state diverged after a post-commit apply failure "
+                f"({self.failed!r}); reopen the directory to rebuild from the WAL"
+            )
         tracer = tracer if tracer is not None else NULL_TRACER
         self._crash("checkpoint.begin")
         gen = self._gen + 1
@@ -544,12 +678,14 @@ class DurableStore:
                 for name, state in self._rels.items()
             },
         }
+        record = {"t": "checkpoint", "gen": gen, "meta": meta}
         with tracer.span("checkpoint_record", gen=gen):
-            self._wal.append({"t": "checkpoint", "gen": gen, "meta": meta})
+            self._wal.append(record)
             self._wal.sync()
         old_pager, old_gen = self._base_pager, self._gen
         self._base_pager, self._base_index, self._gen = pager, new_index, gen
         self._crash("checkpoint.cleanup")
+        self._wal.rotate([record])
         self._pool.after_checkpoint()
         if old_pager is not None:
             old_pager.close()

@@ -32,7 +32,10 @@ Record vocabulary (the ``"t"`` field):
     undone transaction simply never happened.
 ``checkpoint``
     Names a page-snapshot generation; replay starts after the last
-    checkpoint record whose generation file survives on disk.
+    checkpoint record whose generation file survives on disk. Once that
+    record is durable the log is rotated down to just it
+    (:meth:`WriteAheadLog.rotate`), so log length — and recovery cost —
+    is bounded by history since the last checkpoint, not total history.
 
 Torn tails: a crash mid-append leaves a final frame with a short or
 corrupt payload. :meth:`WriteAheadLog.replay` stops at the first frame
@@ -115,6 +118,32 @@ class WriteAheadLog:
         self._file.flush()
         os.fsync(self._file.fileno())
         self.stats.fsyncs += 1
+
+    def rotate(self, records: list[dict[str, Any]]) -> None:
+        """Atomically replace the log's contents with just ``records``.
+
+        Checkpoint rotation: replay starts at the last checkpoint record,
+        so once that record is durable every earlier frame is dead weight
+        — without rotation the log grows without bound and every open
+        reads the full history. The new log is written to a ``.new``
+        sidecar, fsynced, then ``os.replace``d over the old one: a crash
+        before the replace leaves the old (longer but valid) log, a crash
+        after leaves the new one — recovery reads either correctly, and
+        deletes a stale sidecar on open.
+        """
+        sidecar = self.path + ".new"
+        with open(sidecar, "wb") as fresh:
+            for record in records:
+                payload = pack_record(record)
+                fresh.write(
+                    _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+                )
+            fresh.flush()
+            os.fsync(fresh.fileno())
+        self.stats.fsyncs += 1
+        self._file.close()
+        os.replace(sidecar, self.path)
+        self._file = open(self.path, "ab")
 
     # -- reading -----------------------------------------------------------------
 

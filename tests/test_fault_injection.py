@@ -191,6 +191,31 @@ def test_poisoned_assertion_check_rolls_back(tmp_path, policy, durable):
     db2.close()
 
 
+def test_post_barrier_page_failure_commits_in_both_worlds(tmp_path):
+    """A page-apply failure after the WAL barrier used to reach the
+    shared rollback guard — the application saw a failed, rolled-back
+    transaction while recovery replayed the durable commit record
+    forward. Now the engine sees a committed transaction, and the
+    recovered state matches what the application observed."""
+    db, _system, engine = build_system(str(tmp_path), "immediate", SEED)
+    emp = sorted(db.relation("Emp").contents().rows())[0]
+    txn = Transaction(
+        ">Emp", {"Emp": Delta.modification([(emp, (emp[0], emp[1], emp[2] + 1))])}
+    )
+
+    def broken(rel, delta):
+        raise OSError("injected post-barrier page failure")
+
+    db.durable._apply_to_pages = broken
+    result = engine.execute(txn)  # must not raise: the commit is durable
+    assert result.committed and not result.deferred
+    assert db.durable.failed is not None
+    after = snapshot(db)
+    db.close()
+
+    assert recovered_state(str(tmp_path), "immediate", SEED) == after
+
+
 def test_enforcing_rejection_still_reports_violation_when_durable(tmp_path):
     """The AssertionViolation path and the generic rollback guard are
     distinct: a rejected transaction raises the violation (not a wrapped

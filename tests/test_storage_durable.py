@@ -30,7 +30,7 @@ from repro.storage.pager import (
 )
 from repro.storage.relation import StoredRelation
 from repro.storage.undo import UndoLog
-from repro.storage.wal import WriteAheadLog, decode_delta, encode_delta
+from repro.storage.wal import WalError, WriteAheadLog, decode_delta, encode_delta
 
 SCHEMA = Schema.of(("a", DataType.STRING), ("b", DataType.INT), keys=[["a"]])
 
@@ -255,6 +255,157 @@ def test_tiny_pool_spills_and_still_recovers(tmp_path):
     recovered.close()
 
 
+# -- commit-path failure containment --------------------------------------------------
+
+
+def test_oversized_row_rejected_before_any_wal_record(tmp_path):
+    """An unapplyable delta must fail while the WAL still knows nothing:
+    a durable commit record is replayed on every open, so an oversized
+    committed row used to make the directory permanently unopenable."""
+    store = _store(tmp_path)  # 512-byte pages
+    store.on_create("R", SCHEMA)
+    _commit(store, "R", Delta.insertion([("a", 1)]), "t1")
+    wal_size = store._wal.size
+    store.begin("t2")
+    store.on_delta("R", Delta.insertion([("x" * 5000, 2)]))
+    with pytest.raises(PageError):
+        store.commit()
+    assert store._wal.size == wal_size  # nothing reached the log
+    store.abort()
+    _commit(store, "R", Delta.insertion([("b", 2)]), "t3")  # still usable
+    store.close()
+
+    recovered = _store(tmp_path)
+    assert recovered.recovery_errors == []
+    assert sorted(recovered.contents("R").rows()) == [("a", 1), ("b", 2)]
+    recovered.close()
+
+
+def test_oversized_auto_commit_does_not_wedge_the_store(tmp_path):
+    store = _store(tmp_path)
+    store.on_create("R", SCHEMA)
+    with pytest.raises(PageError):
+        store.on_delta("R", Delta.insertion([("x" * 5000, 1)]))
+    # The rejected singleton's auto transaction was aborted: begin works.
+    _commit(store, "R", Delta.insertion([("a", 1)]))
+    store.close()
+
+    recovered = _store(tmp_path)
+    assert sorted(recovered.contents("R").rows()) == [("a", 1)]
+    recovered.close()
+
+
+def test_oversized_row_does_not_brick_the_directory(tmp_path):
+    """The review's reproducer: insert a 5000-byte string, close, reopen.
+    Before the fix the commit record outlived the PageError, so every
+    reopen replayed it and raised — forever."""
+    path = str(tmp_path / "db")
+    db = Database(durable_path=path, checkpoint_every=0)
+    db.create_relation("R", SCHEMA, [("a", 1)])
+    with pytest.raises(PageError):
+        db.relation("R").apply_delta(Delta.insertion([("x" * 5000, 2)]))
+    db.close()
+
+    db2 = Database(durable_path=path, checkpoint_every=0)  # used to raise
+    assert sorted(db2.relation("R").contents().rows()) == [("a", 1)]
+    db2.close()
+
+
+def test_recovery_skips_and_reports_unapplyable_committed_delta(tmp_path):
+    """Defense in depth: a committed delta recovery cannot apply (a log
+    written before size validation, or with a foreign page size) is
+    skipped and reported, not allowed to fail every open."""
+    store = _store(tmp_path)
+    store.on_create("R", SCHEMA)
+    _commit(store, "R", Delta.insertion([("a", 1)]), "t1")
+    store.close()
+    wal = WriteAheadLog(os.path.join(str(tmp_path / "d"), "wal"))
+    wal.append({"t": "begin", "txn": "forged"})
+    wal.append(
+        {
+            "t": "delta",
+            "txn": "forged",
+            "rel": "R",
+            **encode_delta(Delta.insertion([("y" * 5000, 1)])),
+        }
+    )
+    wal.append({"t": "commit", "txn": "forged"})
+    wal.sync()
+    wal.close()
+
+    recovered = _store(tmp_path)
+    assert len(recovered.recovery_errors) == 1
+    assert "forged" in recovered.recovery_errors[0]
+    assert recovered.stats.recovered_txns == 1  # t1 only
+    assert sorted(recovered.contents("R").rows()) == [("a", 1)]
+    recovered.close()
+
+
+def test_post_barrier_apply_failure_rolls_forward_not_back(tmp_path):
+    """A failure after the WAL barrier must not raise out of commit():
+    the commit record is durable, so raising would send the caller's
+    rollback against the log. The store absorbs it, stops trusting its
+    pages, refuses checkpoints, and rebuilds from the WAL on reopen."""
+    store = _store(tmp_path)
+    store.on_create("R", SCHEMA)
+    _commit(store, "R", Delta.insertion([("a", 1)]), "t1")
+
+    def broken(rel, delta):
+        raise OSError("page file gone")
+
+    store._apply_to_pages = broken
+    _commit(store, "R", Delta.insertion([("b", 2)]), "t2")  # must not raise
+    assert isinstance(store.failed, OSError)
+
+    with pytest.raises(WalError):
+        store.checkpoint()
+    # Later commits keep logging (and skip the diverged pages).
+    _commit(store, "R", Delta.insertion([("c", 3)]), "t3")
+    store.close()
+
+    recovered = _store(tmp_path)
+    assert recovered.failed is None
+    assert recovered.stats.recovered_txns == 3
+    assert sorted(recovered.contents("R").rows()) == [("a", 1), ("b", 2), ("c", 3)]
+    recovered.close()
+
+
+def test_checkpoint_rotates_the_wal(tmp_path):
+    """The log must not grow without bound: replay starts at the last
+    checkpoint record, so checkpoint rotates everything before it away."""
+    store = _store(tmp_path)
+    store.on_create("R", SCHEMA)
+    for i in range(10):
+        _commit(store, "R", Delta.insertion([(f"r{i}", i)]), f"t{i}")
+    before = store._wal.size
+    store.checkpoint()
+    assert store._wal.size < before
+    assert [r["t"] for r in store._wal.replay()] == ["checkpoint"]
+    _commit(store, "R", Delta.insertion([("tail", 99)]), "tail")
+    store.close()
+
+    recovered = _store(tmp_path)
+    assert recovered.generation == 1
+    assert recovered.stats.recovered_txns == 1  # only the post-rotation tail
+    assert recovered.contents("R").total() == 11
+    recovered.close()
+
+
+def test_recovery_discards_stale_rotation_sidecar(tmp_path):
+    store = _store(tmp_path)
+    store.on_create("R", SCHEMA)
+    _commit(store, "R", Delta.insertion([("a", 1)]), "t1")
+    store.close()
+    sidecar = os.path.join(str(tmp_path / "d"), "wal.new")
+    with open(sidecar, "wb") as f:
+        f.write(b"\x07garbage from a crashed rotation")
+
+    recovered = _store(tmp_path)
+    assert not os.path.exists(sidecar)
+    assert sorted(recovered.contents("R").rows()) == [("a", 1)]
+    recovered.close()
+
+
 # -- Database integration -------------------------------------------------------------
 
 
@@ -271,6 +422,26 @@ def test_database_durable_round_trip(tmp_path):
     assert db2.recovered
     assert sorted(db2.relation("R").contents().items()) == expected
     assert db2.relation("R").indexes and list(db2.relation("R").indexes)[0]
+    db2.close()
+
+
+def test_failed_create_leaves_no_phantom_relation(tmp_path):
+    """The create record used to hit the WAL before row validation, so a
+    failed ``create_relation`` resurrected as an empty relation on
+    recovery that the live run never had."""
+    path = str(tmp_path / "db")
+    db = Database(durable_path=path, checkpoint_every=0)
+    with pytest.raises(Exception):
+        db.create_relation("Bad", SCHEMA, [("a", 1, "extra-column")])
+    with pytest.raises(PageError):
+        db.create_relation("Huge", SCHEMA, [("x" * 5000, 1)])
+    db.create_relation("Good", SCHEMA, [("a", 1)], indexes=[["a"]])
+    assert db.names == ("Good",)
+    db.close()
+
+    db2 = Database(durable_path=path, checkpoint_every=0)
+    assert db2.names == ("Good",)
+    assert sorted(db2.relation("Good").contents().rows()) == [("a", 1)]
     db2.close()
 
 
