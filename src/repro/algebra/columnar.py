@@ -1,0 +1,976 @@
+"""Columnar (numpy) execution backend: batch multisets through array kernels.
+
+The third execution backend. Relations and delta multisets convert to a
+struct-of-arrays form (:class:`ColumnSet`: one typed array per column plus a
+signed-count vector), and each operator runs as a handful of whole-array
+kernels instead of a per-tuple Python loop:
+
+=================  ==========================================================
+operator           kernel
+=================  ==========================================================
+Select             vectorized predicate -> boolean mask -> filtered gather
+Project            column gathers; scalar arithmetic vectorized
+Join               scatter match when one side's key is unique over a dense
+                   int range (one ``pos`` array, no sort); otherwise
+                   stable-argsort + ``np.searchsorted`` range expansion;
+                   multi-column keys factorized via ``np.unique`` codes
+Join (stored RHS)  cached CSR index probe (:meth:`_CacheEntry.join_index`):
+                   offsets direct-indexed by key, I/O charged exactly like
+                   ``HashIndex.probe_buckets`` from a cumulative-count
+                   prefix array — no bucket expansion to compute charges
+GroupAggregate     lexsort group keys -> segmented ``reduceat`` reductions
+DuplicateElim      consolidate (segmented count merge) -> counts := 1
+Union              column concatenation (lazily consolidated)
+Difference (monus) consolidate both sides, scatter-match rows, clamp at zero
+=================  ==========================================================
+
+Invariants shared with the other two backends:
+
+* **Semantics** — the interpreted backend remains the oracle; results are
+  bit-identical multisets (property-tested three ways).
+* **Cost transparency** — kernels never touch the ``IOCounter``; only the
+  stored-relation probe path charges, and it charges *exactly* what
+  ``HashIndex.probe_buckets`` would: one index read per distinct probed
+  key (misses included), one tuple read per matching stored count.
+* **Fallback, observably** — any operator/type the columnar path cannot
+  represent (object-dtype predicates, ``/`` arithmetic, potential int64
+  overflow, cartesian joins, ...) falls back *per node* to the compiled
+  backend, counted in ``MetricsRegistry`` under ``columnar.fallback`` and
+  ``columnar.fallback.<op>`` — never silently. Kernels raise only
+  :class:`ColumnarFallback`; real evaluation errors (``ZeroDivisionError``,
+  ``KeyError``, negative-count ``ValueError``) surface from the compiled
+  re-run so exception behaviour matches the other backends.
+
+Conversion caching: encoding a 100k-row relation costs ~100ms of Python
+(the irreducible tuple->array floor), so :class:`ConversionCache` keys
+encoded columns — and derived per-key join indexes — by relation identity
+plus :attr:`StoredRelation.version`, exactly the session-lifetime policy of
+``PlanCache``. Entries invalidate on any mutation and die with the relation
+(weak keys). Ad-hoc multisets (deltas, intermediates) encode per call.
+
+``compose_deltas`` is intentionally *not* rewired through this module: at
+typical staged-delta sizes the encode/decode round trip costs more than the
+dict merge it would replace. The consolidation kernel here serves the
+operators that need it (dedup, monus, aggregate inputs).
+"""
+
+from __future__ import annotations
+
+import itertools
+import weakref
+from typing import Any, Callable, Iterable, Sequence
+
+try:
+    import numpy as np
+except ImportError as exc:  # pragma: no cover - exercised via importorskip
+    raise ImportError(
+        "the columnar execution backend requires numpy; "
+        "install it with 'pip install repro[columnar]'"
+    ) from exc
+
+from repro.algebra import compile as _compile
+from repro.algebra.multiset import Multiset
+from repro.algebra.operators import (
+    Difference,
+    DuplicateElim,
+    GroupAggregate,
+    Join,
+    Project,
+    RelExpr,
+    Scan,
+    Select,
+    Union,
+)
+from repro.algebra.predicates import And, Compare, Not, Or, Predicate
+from repro.algebra.scalar import Arith, Col, Const, Scalar
+from repro.obs.metrics import get_metrics
+
+# Encoded int64 values stay below 2^31 in magnitude so that a single
+# add/subtract/multiply cannot leave int64; deeper arithmetic re-checks
+# bounds per operation and falls back rather than wrap.
+_INT_BOUND = 1 << 31
+_SAFE_BOUND = 1 << 62
+# A key column is "dense" when a direct-addressed position array over its
+# value range costs at most a small constant factor of the row count.
+_DENSE_SLACK = 4
+_DENSE_PAD = 1024
+
+
+class ColumnarFallback(Exception):
+    """Internal control flow: this node/type can't run on the columnar path."""
+
+
+def _count_fallback(op: str) -> None:
+    metrics = get_metrics()
+    metrics.counter("columnar.fallback").inc()
+    metrics.counter(f"columnar.fallback.{op}").inc()
+
+
+# -- Multiset <-> struct-of-arrays codec ---------------------------------------------
+
+
+def _encode_column(values: tuple) -> "np.ndarray":
+    """One column to an array: exact int64 when every value is a plain
+    ``int`` small enough to be overflow-safe, else object dtype (Python
+    semantics preserved verbatim; such columns only flow through gathers)."""
+    for v in values:
+        if type(v) is not int or v >= _INT_BOUND or v <= -_INT_BOUND:
+            arr = np.empty(len(values), dtype=object)
+            arr[:] = values
+            return arr
+    return np.array(values, dtype=np.int64)
+
+
+def _decode_column(arr: "np.ndarray") -> list:
+    # .tolist() converts numpy scalars back to exact Python ints/floats;
+    # object columns hold the original Python values already.
+    return arr.tolist()
+
+
+class ColumnSet:
+    """A multiset in struct-of-arrays form.
+
+    ``names`` fixes the row layout (tuple position -> column), ``cols`` maps
+    each name to an array of length ``n``, and ``counts`` carries the signed
+    multiplicities. Row-identity may be *lazily unconsolidated*: the same
+    row can appear on several indices and only the summed count is
+    meaningful. All kernels are linear in counts, so this is invisible —
+    operators that need canonical rows (dedup, monus, decode) consolidate.
+    """
+
+    __slots__ = ("names", "cols", "counts")
+
+    def __init__(self, names: tuple[str, ...], cols: dict, counts: "np.ndarray") -> None:
+        self.names = names
+        self.cols = cols
+        self.counts = counts
+
+    @property
+    def n(self) -> int:
+        return int(self.counts.shape[0])
+
+    @classmethod
+    def from_multiset(cls, ms: Multiset, names: Sequence[str]) -> "ColumnSet":
+        return cls.from_rows(ms._counts.keys(), ms._counts.values(), names)
+
+    @classmethod
+    def from_rows(cls, rows: Iterable, counts: Iterable, names: Sequence[str]) -> "ColumnSet":
+        names = tuple(names)
+        count_list = list(counts)
+        n = len(count_list)
+        count_arr = np.fromiter(count_list, dtype=np.int64, count=n)
+        cols: dict[str, np.ndarray] = {}
+        if not n:
+            for name in names:
+                cols[name] = np.empty(0, dtype=np.int64)
+            return cls(names, cols, count_arr)
+        row_list = rows if isinstance(rows, (list, tuple)) else list(rows)
+        width = len(names)
+        # Fast path — the common delta shape is all-small-int rows: one
+        # C-speed type scan, then one flat fromiter into an (n, width)
+        # matrix. The strict `type(...) is int` gate rejects bools and
+        # floats (fromiter would silently coerce both); the magnitude gate
+        # preserves the per-column overflow policy of _encode_column.
+        if width and set(map(type, itertools.chain.from_iterable(row_list))) == {int}:
+            try:
+                mat = np.fromiter(
+                    itertools.chain.from_iterable(row_list),
+                    dtype=np.int64,
+                    count=n * width,
+                ).reshape(n, width)
+            except OverflowError:
+                mat = None
+            if mat is not None and -_INT_BOUND < mat.min() and mat.max() < _INT_BOUND:
+                for i, name in enumerate(names):
+                    cols[name] = np.ascontiguousarray(mat[:, i])
+                return cls(names, cols, count_arr)
+        for name, values in zip(names, zip(*row_list)):
+            cols[name] = _encode_column(values)
+        return cls(names, cols, count_arr)
+
+    def to_multiset(self) -> Multiset:
+        out = Multiset()
+        if not self.n:
+            return out
+        columns = [_decode_column(self.cols[name]) for name in self.names]
+        add = out.add
+        for row_count in zip(zip(*columns), self.counts.tolist()):
+            add(*row_count)
+        return out
+
+
+# -- per-session conversion cache ----------------------------------------------------
+
+
+class _JoinIndex:
+    """A CSR-shaped join index over one int64 key column of a cached
+    relation: ``order`` clusters row positions by key; ``ccum`` is the
+    cumulative stored-count prefix over that order, so the exact
+    ``probe_buckets`` tuple-read charge for any key is ``ccum[hi]-ccum[lo]``
+    with no bucket expansion. Dense key ranges direct-address ``offsets``;
+    sparse ones binary-search ``keys_sorted``."""
+
+    __slots__ = ("dense", "kmin", "width", "offsets", "order", "keys_sorted", "ccum")
+
+    def __init__(self, keys: "np.ndarray", counts: "np.ndarray") -> None:
+        n = keys.shape[0]
+        kmin = int(keys.min()) if n else 0
+        kmax = int(keys.max()) if n else -1
+        width = kmax - kmin + 1
+        self.kmin = kmin
+        self.dense = n > 0 and width <= _DENSE_SLACK * n + _DENSE_PAD
+        if self.dense:
+            shifted = keys - kmin
+            self.width = width
+            self.order = np.argsort(shifted, kind="stable")
+            bincounts = np.bincount(shifted, minlength=width)
+            self.offsets = np.empty(width + 1, dtype=np.int64)
+            self.offsets[0] = 0
+            np.cumsum(bincounts, out=self.offsets[1:])
+            self.keys_sorted = None
+        else:
+            self.width = 0
+            self.order = np.argsort(keys, kind="stable")
+            self.keys_sorted = keys[self.order]
+            self.offsets = None
+        self.ccum = np.empty(n + 1, dtype=np.int64)
+        self.ccum[0] = 0
+        np.cumsum(counts[self.order], out=self.ccum[1:])
+
+    def probe(self, probe_keys: "np.ndarray") -> tuple["np.ndarray", "np.ndarray"]:
+        """Sorted-order [lo, hi) match ranges per probe key (empty on miss)."""
+        if self.dense:
+            shifted = probe_keys - self.kmin
+            in_bounds = (shifted >= 0) & (shifted < self.width)
+            clipped = np.where(in_bounds, shifted, 0)
+            lo = self.offsets[clipped]
+            hi = self.offsets[clipped + 1]
+            lo[~in_bounds] = 0
+            hi[~in_bounds] = 0
+            return lo, hi
+        lo = np.searchsorted(self.keys_sorted, probe_keys, side="left")
+        hi = np.searchsorted(self.keys_sorted, probe_keys, side="right")
+        return lo, hi
+
+
+class _CacheEntry:
+    __slots__ = ("version", "cs", "_join_indexes")
+
+    def __init__(self, version: int, cs: ColumnSet) -> None:
+        self.version = version
+        self.cs = cs
+        self._join_indexes: dict[str, _JoinIndex] = {}
+
+    def join_index(self, column: str) -> _JoinIndex:
+        index = self._join_indexes.get(column)
+        if index is None:
+            keys = self.cols_int64(column)
+            index = _JoinIndex(keys, self.cs.counts)
+            self._join_indexes[column] = index
+        return index
+
+    def cols_int64(self, column: str) -> "np.ndarray":
+        arr = self.cs.cols[column]
+        if arr.dtype != np.int64:
+            raise ColumnarFallback(f"non-int64 key column {column!r}")
+        return arr
+
+
+class ConversionCache:
+    """Session cache of relation encodings, keyed like ``PlanCache``.
+
+    Weak relation identity -> (:attr:`StoredRelation.version`, columns,
+    derived join indexes). Any mutation bumps the version and invalidates
+    the entry on next access; dropped relations expire with their weak key.
+    """
+
+    def __init__(self) -> None:
+        self._entries: "weakref.WeakKeyDictionary[Any, _CacheEntry]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def entry(self, relation: Any) -> _CacheEntry:
+        version = relation.version
+        cached = self._entries.get(relation)
+        if cached is not None and cached.version == version:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        rows, counts = relation.column_data()
+        cs = ColumnSet.from_rows(rows, counts, relation.schema.names)
+        cached = _CacheEntry(version, cs)
+        self._entries[relation] = cached
+        return cached
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_SESSION_CONVERSIONS = ConversionCache()
+
+
+def conversion_cache() -> ConversionCache:
+    """The session-wide relation conversion cache."""
+    return _SESSION_CONVERSIONS
+
+
+# -- vectorized scalars and predicates -----------------------------------------------
+
+
+def _resolve_column(cs: ColumnSet, name: str) -> "np.ndarray":
+    # Mirrors Col.eval: exact name, then unique bare-suffix match. The
+    # ambiguous/missing case falls back (the compiled re-run raises the
+    # reference KeyError).
+    col = cs.cols.get(name)
+    if col is not None:
+        return col
+    bare = name.rsplit(".", 1)[-1]
+    matches = [k for k in cs.names if k == bare or k.rsplit(".", 1)[-1] == bare]
+    if len(matches) == 1:
+        return cs.cols[matches[0]]
+    raise ColumnarFallback(f"column {name!r} missing or ambiguous")
+
+
+def _absmax(value) -> int:
+    if isinstance(value, np.ndarray):
+        return int(np.abs(value).max()) if value.shape[0] else 0
+    return abs(int(value))
+
+
+def _scalar_vector(scalar: Scalar, cs: ColumnSet):
+    """``scalar`` over every row: an int64 array, or a plain int for
+    constants (broadcast by the consumer)."""
+    if isinstance(scalar, Col):
+        arr = _resolve_column(cs, scalar.name)
+        if arr.dtype != np.int64:
+            raise ColumnarFallback("non-int64 column in scalar")
+        return arr
+    if isinstance(scalar, Const):
+        value = scalar.value
+        if type(value) is not int or abs(value) >= _INT_BOUND:
+            raise ColumnarFallback("non-int constant")
+        return value
+    if isinstance(scalar, Arith):
+        if scalar.op == "/":
+            # Division is always-float in the reference semantics and can
+            # raise ZeroDivisionError mid-stream; the row loop preserves both.
+            raise ColumnarFallback("division")
+        left = _scalar_vector(scalar.left, cs)
+        right = _scalar_vector(scalar.right, cs)
+        lmax, rmax = _absmax(left), _absmax(right)
+        if scalar.op == "+":
+            if lmax + rmax >= _SAFE_BOUND:
+                raise ColumnarFallback("addition overflow risk")
+            return left + right
+        if scalar.op == "-":
+            if lmax + rmax >= _SAFE_BOUND:
+                raise ColumnarFallback("subtraction overflow risk")
+            return left - right
+        if scalar.op == "*":
+            if lmax * rmax >= _SAFE_BOUND:
+                raise ColumnarFallback("multiplication overflow risk")
+            return left * right
+    raise ColumnarFallback(f"unsupported scalar {type(scalar).__name__}")
+
+
+_CMP = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _predicate_mask(pred: Predicate, cs: ColumnSet) -> "np.ndarray":
+    """Boolean mask over all rows. And/Or evaluate every part — sound
+    because supported parts are non-raising by construction (anything that
+    could raise, like division, already fell back)."""
+    if isinstance(pred, Compare):
+        op = _CMP.get(pred.op)
+        if op is None:
+            raise ColumnarFallback(f"comparison {pred.op!r}")
+        left = _scalar_vector(pred.left, cs)
+        right = _scalar_vector(pred.right, cs)
+        if not isinstance(left, np.ndarray) and not isinstance(right, np.ndarray):
+            return np.full(cs.n, bool(op(left, right)))
+        return op(left, right)
+    if isinstance(pred, And):
+        mask = np.ones(cs.n, dtype=bool)
+        for part in pred.parts:
+            mask &= _predicate_mask(part, cs)
+        return mask
+    if isinstance(pred, Or):
+        return _predicate_mask(pred.left, cs) | _predicate_mask(pred.right, cs)
+    if isinstance(pred, Not):
+        return ~_predicate_mask(pred.inner, cs)
+    if not pred.conjuncts():
+        return np.ones(cs.n, dtype=bool)
+    raise ColumnarFallback(f"unsupported predicate {type(pred).__name__}")
+
+
+# -- operator kernels ----------------------------------------------------------------
+
+
+def select_kernel(expr: Select, cs: ColumnSet) -> ColumnSet:
+    if not expr.predicate.conjuncts():
+        return ColumnSet(cs.names, dict(cs.cols), cs.counts)
+    mask = _predicate_mask(expr.predicate, cs)
+    return ColumnSet(
+        cs.names,
+        {name: arr[mask] for name, arr in cs.cols.items()},
+        cs.counts[mask],
+    )
+
+
+def project_kernel(expr: Project, cs: ColumnSet) -> ColumnSet:
+    names = tuple(name for name, _ in expr.outputs)
+    cols: dict[str, np.ndarray] = {}
+    for name, scalar in expr.outputs:
+        vec = _scalar_vector(scalar, cs)
+        if not isinstance(vec, np.ndarray):
+            vec = np.full(cs.n, vec, dtype=np.int64)
+        cols[name] = vec
+    out = ColumnSet(names, cols, cs.counts)
+    if expr.dedup:
+        return dedup_kernel(out)
+    return out
+
+
+def consolidate_kernel(cs: ColumnSet) -> ColumnSet:
+    """Canonicalize row identity: merge duplicate rows (segmented count
+    reduction over the lexsorted order), drop zero-count rows."""
+    if cs.n <= 1:
+        if cs.n == 1 and int(cs.counts[0]) == 0:
+            return ColumnSet(
+                cs.names,
+                {name: arr[:0] for name, arr in cs.cols.items()},
+                cs.counts[:0],
+            )
+        return cs
+    arrays = [_require_int64(cs.cols[name]) for name in cs.names]
+    order = np.lexsort(arrays[::-1]) if arrays else np.arange(cs.n)
+    sorted_cols = [arr[order] for arr in arrays]
+    boundary = np.zeros(cs.n, dtype=bool)
+    boundary[0] = True
+    for arr in sorted_cols:
+        boundary[1:] |= arr[1:] != arr[:-1]
+    starts = np.nonzero(boundary)[0]
+    merged = np.add.reduceat(cs.counts[order], starts)
+    keep = merged != 0
+    cols = {
+        name: arr[starts][keep] for name, arr in zip(cs.names, sorted_cols)
+    }
+    return ColumnSet(cs.names, cols, merged[keep])
+
+
+def _require_int64(arr: "np.ndarray") -> "np.ndarray":
+    if arr.dtype != np.int64:
+        raise ColumnarFallback("object-dtype column in sort-based kernel")
+    return arr
+
+
+def dedup_kernel(cs: ColumnSet) -> ColumnSet:
+    consolidated = consolidate_kernel(cs)
+    if consolidated.n and bool((consolidated.counts < 0).any()):
+        # The reference raises ValueError here; let the compiled path do it.
+        raise ColumnarFallback("negative counts under dedup")
+    return ColumnSet(
+        consolidated.names,
+        consolidated.cols,
+        np.ones(consolidated.n, dtype=np.int64),
+    )
+
+
+def _scatter_match(
+    build: "np.ndarray", probe: "np.ndarray"
+) -> tuple["np.ndarray", "np.ndarray"] | None:
+    """Match ``probe`` values against a *unique, dense* build key with one
+    direct-addressed position array (no sorting). Returns ``(build_idx,
+    probe_idx)`` matched pairs, or ``None`` when the build side does not
+    qualify."""
+    if build.shape[0] == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    kmin = int(build.min())
+    kmax = int(build.max())
+    width = kmax - kmin + 1
+    if width > _DENSE_SLACK * build.shape[0] + _DENSE_PAD:
+        return None
+    if int(np.bincount(build - kmin, minlength=width).max()) > 1:
+        return None
+    pos = np.full(width, -1, dtype=np.int64)
+    pos[build - kmin] = np.arange(build.shape[0])
+    shifted = probe - kmin
+    in_bounds = (shifted >= 0) & (shifted < width)
+    build_idx = pos[np.where(in_bounds, shifted, 0)]
+    build_idx[~in_bounds] = -1
+    valid = build_idx >= 0
+    if bool(valid.all()):
+        return build_idx, np.arange(probe.shape[0])
+    probe_idx = np.nonzero(valid)[0]
+    return build_idx[probe_idx], probe_idx
+
+
+def _sort_match(
+    left: "np.ndarray", right: "np.ndarray"
+) -> tuple["np.ndarray", "np.ndarray"]:
+    """General equi-match: stable-sort the right side, binary-search the
+    left, expand match ranges. Returns matched ``(left_idx, right_idx)``."""
+    order = np.argsort(right, kind="stable")
+    keys_sorted = right[order]
+    lo = np.searchsorted(keys_sorted, left, side="left")
+    hi = np.searchsorted(keys_sorted, left, side="right")
+    span = hi - lo
+    total = int(span.sum())
+    left_idx = np.repeat(np.arange(left.shape[0]), span)
+    within = np.arange(total) - np.repeat(np.cumsum(span) - span, span)
+    right_idx = order[np.repeat(lo, span) + within]
+    return left_idx, right_idx
+
+
+def _match_keys(
+    left: "np.ndarray", right: "np.ndarray"
+) -> tuple["np.ndarray", "np.ndarray"]:
+    matched = _scatter_match(left, right)
+    if matched is not None:
+        return matched[0], matched[1]
+    matched = _scatter_match(right, left)
+    if matched is not None:
+        return matched[1], matched[0]
+    return _sort_match(left, right)
+
+
+def _combine_keys(
+    left_cols: list["np.ndarray"], right_cols: list["np.ndarray"]
+) -> tuple["np.ndarray", "np.ndarray"]:
+    """Factorize a multi-column key into one int64 code per side."""
+    n_left = left_cols[0].shape[0]
+    left_code = np.zeros(n_left, dtype=np.int64)
+    right_code = np.zeros(right_cols[0].shape[0], dtype=np.int64)
+    for left_col, right_col in zip(left_cols, right_cols):
+        _, inverse = np.unique(
+            np.concatenate([left_col, right_col]), return_inverse=True
+        )
+        base = int(inverse.max()) + 1 if inverse.shape[0] else 1
+        if _absmax(left_code) * base + base >= _SAFE_BOUND:
+            raise ColumnarFallback("key code overflow")
+        left_code = left_code * base + inverse[:n_left].astype(np.int64)
+        right_code = right_code * base + inverse[n_left:].astype(np.int64)
+    return left_code, right_code
+
+
+def _merge_columns(
+    expr: Join,
+    left: ColumnSet,
+    right: ColumnSet,
+    left_idx: "np.ndarray",
+    right_idx: "np.ndarray",
+) -> ColumnSet:
+    """Assemble the canonical (name-sorted) output of a join from matched
+    row-index pairs; counts multiply; residual filters vectorized."""
+    left_count_max = _absmax(left.counts)
+    right_count_max = _absmax(right.counts)
+    if left_count_max * right_count_max >= _SAFE_BOUND:
+        raise ColumnarFallback("count product overflow risk")
+    names = expr.schema.names
+    cols: dict[str, np.ndarray] = {}
+    for name in names:
+        if name in left.cols:
+            cols[name] = left.cols[name][left_idx]
+        else:
+            cols[name] = right.cols[name][right_idx]
+    counts = left.counts[left_idx] * right.counts[right_idx]
+    out = ColumnSet(names, cols, counts)
+    if expr.residual.conjuncts():
+        mask = _predicate_mask(expr.residual, out)
+        out = ColumnSet(
+            names,
+            {name: arr[mask] for name, arr in cols.items()},
+            counts[mask],
+        )
+    return out
+
+
+def join_kernel(expr: Join, left: ColumnSet, right: ColumnSet) -> ColumnSet:
+    shared = expr.join_columns
+    if not shared:
+        raise ColumnarFallback("cartesian join")
+    left_keys = [_require_int64(left.cols[c]) for c in shared]
+    right_keys = [_require_int64(right.cols[c]) for c in shared]
+    if len(shared) == 1:
+        left_code, right_code = left_keys[0], right_keys[0]
+    else:
+        left_code, right_code = _combine_keys(left_keys, right_keys)
+    left_idx, right_idx = _match_keys(left_code, right_code)
+    return _merge_columns(expr, left, right, left_idx, right_idx)
+
+
+def group_aggregate_kernel(expr: GroupAggregate, cs: ColumnSet) -> ColumnSet:
+    if cs.n and bool((cs.counts <= 0).any()):
+        # Negative net counts raise ValueError in the reference; lazily
+        # unconsolidated inputs can also net to zero — both cases are the
+        # compiled path's job after consolidation.
+        raise ColumnarFallback("non-positive counts under aggregation")
+    names = expr.schema.names
+    if cs.n == 0:
+        return ColumnSet(
+            names,
+            {name: np.empty(0, dtype=np.int64) for name in names},
+            np.empty(0, dtype=np.int64),
+        )
+    group_cols = [_require_int64(_resolve_column(cs, g)) for g in expr.group_by]
+    if group_cols:
+        order = np.lexsort(group_cols[::-1])
+        sorted_groups = [arr[order] for arr in group_cols]
+        boundary = np.zeros(cs.n, dtype=bool)
+        boundary[0] = True
+        for arr in sorted_groups:
+            boundary[1:] |= arr[1:] != arr[:-1]
+        starts = np.nonzero(boundary)[0]
+    else:
+        order = np.arange(cs.n)
+        sorted_groups = []
+        starts = np.zeros(1, dtype=np.int64)
+    counts_sorted = cs.counts[order]
+    group_sizes = np.add.reduceat(counts_sorted, starts)
+    total_count = int(cs.counts.sum())
+    out_cols: dict[str, np.ndarray] = {}
+    for name, arr in zip(expr.group_by, sorted_groups):
+        out_cols[name] = arr[starts]
+    for spec in expr.aggregates:
+        if spec.func == "count":
+            out_cols[spec.out] = group_sizes
+            continue
+        values = _scalar_vector(spec.arg, cs)
+        if not isinstance(values, np.ndarray):
+            values = np.full(cs.n, values, dtype=np.int64)
+        values_sorted = values[order]
+        if spec.func in ("sum", "avg"):
+            if _absmax(values) * total_count >= _SAFE_BOUND:
+                raise ColumnarFallback("aggregate sum overflow risk")
+            sums = np.add.reduceat(values_sorted * counts_sorted, starts)
+            if spec.func == "sum":
+                out_cols[spec.out] = sums
+            else:
+                # Same float as the reference's total / n over exact ints.
+                out_cols[spec.out] = sums / group_sizes
+        elif spec.func == "min":
+            out_cols[spec.out] = np.minimum.reduceat(values_sorted, starts)
+        elif spec.func == "max":
+            out_cols[spec.out] = np.maximum.reduceat(values_sorted, starts)
+        else:  # pragma: no cover - operator validation precedes
+            raise ColumnarFallback(f"aggregate {spec.func!r}")
+    n_groups = starts.shape[0]
+    return ColumnSet(
+        names,
+        {name: out_cols[name] for name in names},
+        np.ones(n_groups, dtype=np.int64),
+    )
+
+
+def union_kernel(expr: Union, left: ColumnSet, right: ColumnSet) -> ColumnSet:
+    names = expr.schema.names
+    cols = {
+        name: np.concatenate([left.cols[name], right.cols[name]]) for name in names
+    }
+    return ColumnSet(names, cols, np.concatenate([left.counts, right.counts]))
+
+
+def difference_kernel(expr: Difference, left: ColumnSet, right: ColumnSet) -> ColumnSet:
+    """Multiset monus: for each (consolidated) left row, subtract the
+    matching right count and clamp at zero. Rows only on the right never
+    appear — exactly :meth:`Multiset.monus`."""
+    names = expr.schema.names
+    left = consolidate_kernel(ColumnSet(names, {n: left.cols[n] for n in names}, left.counts))
+    right = consolidate_kernel(
+        ColumnSet(names, {n: right.cols[n] for n in names}, right.counts)
+    )
+    if left.n == 0 or right.n == 0:
+        keep = left.counts > 0
+        return ColumnSet(
+            names, {n: left.cols[n][keep] for n in names}, left.counts[keep]
+        )
+    left_cols = [_require_int64(left.cols[n]) for n in names]
+    right_cols = [_require_int64(right.cols[n]) for n in names]
+    if len(names) == 1:
+        left_code, right_code = left_cols[0], right_cols[0]
+    else:
+        left_code, right_code = _combine_keys(left_cols, right_cols)
+    left_idx, right_idx = _match_keys(left_code, right_code)
+    right_at = np.zeros(left.n, dtype=np.int64)
+    right_at[left_idx] = right.counts[right_idx]
+    remaining = left.counts - right_at
+    keep = remaining > 0
+    return ColumnSet(names, {n: left.cols[n][keep] for n in names}, remaining[keep])
+
+
+# -- whole-expression evaluation -----------------------------------------------------
+
+
+def _encode_scan(expr: Scan, source: Any) -> ColumnSet:
+    relation = None
+    get_relation = getattr(source, "relation", None)
+    if get_relation is not None:
+        try:
+            relation = get_relation(expr.name)
+        except Exception:
+            relation = None
+    if relation is not None and hasattr(relation, "column_data"):
+        return _SESSION_CONVERSIONS.entry(relation).cs
+    return ColumnSet.from_multiset(source.multiset(expr.name), expr.schema.names)
+
+
+def _run_node(
+    op: str,
+    expr: RelExpr,
+    kernel: Callable[[], ColumnSet],
+    fallback: Callable[[], Multiset],
+) -> ColumnSet:
+    """Run one operator natively; on *any* failure fall back to the compiled
+    kernel over decoded inputs (observably — see module docstring). The
+    compiled re-run also reproduces reference exceptions bit-for-bit."""
+    try:
+        return kernel()
+    except ColumnarFallback:
+        pass
+    except Exception:
+        pass
+    _count_fallback(op)
+    return ColumnSet.from_multiset(fallback(), expr.schema.names)
+
+
+def _eval_cs(expr: RelExpr, source: Any) -> ColumnSet:
+    if isinstance(expr, Scan):
+        return _encode_scan(expr, source)
+    if isinstance(expr, Select):
+        cs = _eval_cs(expr.input, source)
+        return _run_node(
+            "select",
+            expr,
+            lambda: select_kernel(expr, cs),
+            lambda: _compile.compiled_apply_select(expr, cs.to_multiset()),
+        )
+    if isinstance(expr, Project):
+        cs = _eval_cs(expr.input, source)
+        return _run_node(
+            "project",
+            expr,
+            lambda: project_kernel(expr, cs),
+            lambda: _compile.compiled_apply_project(expr, cs.to_multiset()),
+        )
+    if isinstance(expr, Join):
+        left = _eval_cs(expr.left, source)
+        right = _eval_cs(expr.right, source)
+        return _run_node(
+            "join",
+            expr,
+            lambda: join_kernel(expr, left, right),
+            lambda: _compile.compiled_apply_join(
+                expr, left.to_multiset(), right.to_multiset()
+            ),
+        )
+    if isinstance(expr, GroupAggregate):
+        cs = _eval_cs(expr.input, source)
+        return _run_node(
+            "aggregate",
+            expr,
+            lambda: group_aggregate_kernel(expr, cs),
+            lambda: _compile.compiled_apply_group_aggregate(expr, cs.to_multiset()),
+        )
+    if isinstance(expr, DuplicateElim):
+        cs = _eval_cs(expr.input, source)
+        return _run_node(
+            "dedup",
+            expr,
+            lambda: dedup_kernel(cs),
+            lambda: _compile.compiled_apply_dedup(cs.to_multiset()),
+        )
+    if isinstance(expr, Union):
+        left = _eval_cs(expr.left, source)
+        right = _eval_cs(expr.right, source)
+        return _run_node(
+            "union",
+            expr,
+            lambda: union_kernel(expr, left, right),
+            lambda: left.to_multiset() + right.to_multiset(),
+        )
+    if isinstance(expr, Difference):
+        left = _eval_cs(expr.left, source)
+        right = _eval_cs(expr.right, source)
+        return _run_node(
+            "difference",
+            expr,
+            lambda: difference_kernel(expr, left, right),
+            lambda: left.to_multiset().monus(right.to_multiset()),
+        )
+    raise TypeError(f"unknown operator {type(expr).__name__}")
+
+
+def columnar_evaluate_native(expr: RelExpr, source: Any) -> ColumnSet:
+    """Evaluate to the backend-native :class:`ColumnSet` (no decode)."""
+    from repro.algebra.evaluate import MappingSource
+
+    if isinstance(source, dict):
+        source = MappingSource(source)
+    return _eval_cs(expr, source)
+
+
+def columnar_evaluate(expr: RelExpr, source: Any) -> Multiset:
+    """Evaluate ``expr`` with the columnar backend (Multiset-returning)."""
+    return columnar_evaluate_native(expr, source).to_multiset()
+
+
+# -- Multiset-in/Multiset-out operator entry points (IVM runtime dispatch) -----------
+
+
+def _apply_unary(op, expr, input_, kernel, fallback, in_names):
+    try:
+        cs = ColumnSet.from_multiset(input_, in_names)
+        return kernel(cs).to_multiset()
+    except ColumnarFallback:
+        pass
+    except Exception:
+        pass
+    _count_fallback(op)
+    return fallback()
+
+
+def apply_select_ms(expr: Select, input_: Multiset) -> Multiset:
+    return _apply_unary(
+        "select",
+        expr,
+        input_,
+        lambda cs: select_kernel(expr, cs),
+        lambda: _compile.compiled_apply_select(expr, input_),
+        expr.input.schema.names,
+    )
+
+
+def apply_project_ms(expr: Project, input_: Multiset) -> Multiset:
+    return _apply_unary(
+        "project",
+        expr,
+        input_,
+        lambda cs: project_kernel(expr, cs),
+        lambda: _compile.compiled_apply_project(expr, input_),
+        expr.input.schema.names,
+    )
+
+
+def apply_group_aggregate_ms(expr: GroupAggregate, input_: Multiset) -> Multiset:
+    return _apply_unary(
+        "aggregate",
+        expr,
+        input_,
+        lambda cs: group_aggregate_kernel(expr, cs),
+        lambda: _compile.compiled_apply_group_aggregate(expr, input_),
+        expr.input.schema.names,
+    )
+
+
+def apply_join_ms(expr: Join, left: Multiset, right: Multiset) -> Multiset:
+    try:
+        left_cs = ColumnSet.from_multiset(left, expr.left.schema.names)
+        right_cs = ColumnSet.from_multiset(right, expr.right.schema.names)
+        return join_kernel(expr, left_cs, right_cs).to_multiset()
+    except ColumnarFallback:
+        pass
+    except Exception:
+        pass
+    _count_fallback("join")
+    return _compile.compiled_apply_join(expr, left, right)
+
+
+def apply_dedup_ms(input_: Multiset) -> Multiset:
+    try:
+        rows = input_._counts
+        width = len(next(iter(rows))) if rows else 0
+        names = tuple(f"_{i}" for i in range(width))
+        cs = ColumnSet.from_multiset(input_, names)
+        return dedup_kernel(cs).to_multiset()
+    except ColumnarFallback:
+        pass
+    except Exception:
+        pass
+    _count_fallback("dedup")
+    return _compile.compiled_apply_dedup(input_)
+
+
+# -- batched delta pipeline (stored-relation probe path) -----------------------------
+
+
+def probe_join_columns(expr: Join, left_cs: ColumnSet, relation: Any) -> ColumnSet:
+    """Join a delta :class:`ColumnSet` against a stored relation through its
+    cached CSR join index, charging I/O exactly like ``probe_buckets``.
+
+    All fallback-able work happens *before* any charge, so a caller that
+    catches :class:`ColumnarFallback` and retries on the bucket path never
+    double-charges. The expansion after the charge is purely mechanical.
+    """
+    shared = expr.join_columns
+    if len(shared) != 1:
+        raise ColumnarFallback("multi-column probe key")
+    if expr.residual.conjuncts():
+        raise ColumnarFallback("probe join with residual")
+    column = shared[0]
+    entry = _SESSION_CONVERSIONS.entry(relation)
+    right_cs = entry.cs
+    left_keys = left_cs.cols.get(column)
+    if left_keys is None or left_keys.dtype != np.int64:
+        raise ColumnarFallback("non-int64 probe key")
+    index = entry.join_index(relation.schema.resolve(column))
+    if _absmax(left_cs.counts) * _absmax(right_cs.counts) >= _SAFE_BOUND:
+        raise ColumnarFallback("count product overflow risk")
+    # probe_buckets charges one index read per *distinct* probed key
+    # (misses included) and one tuple read per stored count in each hit
+    # bucket; ccum answers the latter without expanding any bucket. One
+    # probe over the distinct keys serves both the charge and (scattered
+    # back through the inverse) the expansion.
+    distinct, inverse = np.unique(left_keys, return_inverse=True)
+    lo_d, hi_d = index.probe(distinct)
+    matched_counts = int((index.ccum[hi_d] - index.ccum[lo_d]).sum())
+    relation.counter.charge_index_read(distinct.shape[0])
+    relation.counter.charge_tuple_read(matched_counts)
+    lo, hi = lo_d[inverse], hi_d[inverse]
+    span = hi - lo
+    total = int(span.sum())
+    left_idx = np.repeat(np.arange(left_keys.shape[0]), span)
+    within = np.arange(total) - np.repeat(np.cumsum(span) - span, span)
+    right_idx = index.order[np.repeat(lo, span) + within]
+    return _merge_columns(expr, left_cs, right_cs, left_idx, right_idx)
+
+
+def probe_join_net(expr: Join, left_net: Multiset, relation: Any) -> Multiset | None:
+    """Maintainer-facing wrapper: Multiset in/out, ``None`` (with the
+    fallback counted) when the columnar path declines — the caller then
+    runs the ordinary ``probe_buckets`` path, which performs the charges."""
+    try:
+        left_cs = ColumnSet.from_multiset(left_net, expr.left.schema.names)
+        return probe_join_columns(expr, left_cs, relation).to_multiset()
+    except ColumnarFallback:
+        pass
+    except Exception:
+        pass
+    _count_fallback("probe_join")
+    return None
+
+
+def spine_net_native(
+    spine: Sequence[Join], net: Multiset, relations: Sequence[Any]
+) -> ColumnSet:
+    """Thread one signed delta multiset up a left-deep join spine entirely
+    in arrays: encode once, CSR-probe each stored right side, decode never.
+    Charges are identical to running :func:`probe_join_net` per level.
+    Raises :class:`ColumnarFallback` (before any charge at the failing
+    level) when a level can't run natively."""
+    if not spine:
+        raise ColumnarFallback("empty spine")
+    cs = ColumnSet.from_multiset(net, spine[0].left.schema.names)
+    for join, relation in zip(spine, relations):
+        cs = probe_join_columns(join, cs, relation)
+    return cs

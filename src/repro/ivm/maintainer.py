@@ -252,11 +252,13 @@ class ViewMaintainer:
         return cache.scan(gid, lambda: self._scan_group(gid))
 
     def _bucket_fetch(self, gid: int, columns: frozenset[str]):
-        """A bucket-grained fetch callable for group ``gid`` on ``columns``,
-        or ``None`` when the group cannot answer key lookups directly from
-        one hash index (see :meth:`HashIndex.probe_buckets`). Only direct
-        storage — a base relation or a materialized view — qualifies; key
-        reduction or operator decomposition falls back to plain fetches.
+        """A ``(probe_buckets, relation)`` pair for group ``gid`` on
+        ``columns``, or ``None`` when the group cannot answer key lookups
+        directly from one hash index (see :meth:`HashIndex.probe_buckets`).
+        Only direct storage — a base relation or a materialized view —
+        qualifies; key reduction or operator decomposition falls back to
+        plain fetches. The relation rides along so the columnar backend can
+        probe its cached column encoding instead (identical charges).
         """
         gid = self.memo.find(gid)
         if not columns or self.estimator.info(gid).reduce(columns) != columns:
@@ -272,7 +274,7 @@ class ViewMaintainer:
         index = relation.index_on(cols)
         if index is None:
             index = relation.create_index(cols)
-        return index.probe_buckets
+        return index.probe_buckets, relation
 
     def _indexed_fetch(
         self, relation: StoredRelation, columns: Iterable[str], keys: set[tuple]
@@ -685,9 +687,9 @@ class ViewMaintainer:
             jc = frozenset(template.join_columns)
             fetch_left = lambda keys: self.fetch(children[0], jc, keys)  # noqa: E731
             fetch_right = lambda keys: self.fetch(children[1], jc, keys)  # noqa: E731
-            buckets = self._bucket_fetch(children[1], jc)
-            if buckets is not None:
-                fetch_right.buckets = buckets
+            bucketed = self._bucket_fetch(children[1], jc)
+            if bucketed is not None:
+                fetch_right.buckets, fetch_right.columnar_rel = bucketed
             if self._commit_cache is not None:
                 fetch_left.cache_info = self._commit_cache.counts
                 fetch_right.cache_info = self._commit_cache.counts

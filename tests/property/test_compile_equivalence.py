@@ -1,14 +1,15 @@
-"""Property tests: the compiled backend is observationally identical to the
+"""Property tests: every execution backend is observationally identical to the
 interpreted reference backend.
 
 Two halves, matching the cost-transparency contract of
 :mod:`repro.algebra.compile`:
 
 * for random well-typed expressions over random databases, ``evaluate``
-  returns bit-identical multisets under both backends;
+  returns bit-identical multisets under every backend (interpreted ×
+  compiled × columnar when numpy is present);
 * for random maintenance streams on the paper's corporate database, the
   maintainer produces identical view contents *and* identical ``IOCounter``
-  totals under both backends — compilation may only move wall clock, never
+  totals under every backend — a backend may only move wall clock, never
   charged page I/Os.
 """
 
@@ -18,7 +19,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.algebra.compile import plan_cache, set_default_backend
+from repro.algebra.compile import columnar_available, plan_cache, set_default_backend
 from repro.algebra.evaluate import evaluate
 from repro.algebra.multiset import Multiset
 from repro.algebra.operators import (
@@ -44,6 +45,12 @@ R_SCAN = Scan(
 S_SCAN = Scan("S", Schema.of(("c", DataType.INT), ("d", DataType.INT)))
 
 _CMP_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+# Backends under test: columnar joins the pairwise property whenever numpy
+# is importable, so the no-numpy install keeps the same file green.
+CHECKED_BACKENDS = ("interpreted", "compiled") + (
+    ("columnar",) if columnar_available() else ()
+)
 
 
 @st.composite
@@ -148,28 +155,32 @@ def databases(draw):
 class TestEvaluateEquivalence:
     @settings(max_examples=120, deadline=None)
     @given(expr=rel_exprs(), source=databases())
-    def test_compiled_equals_interpreted(self, expr, source):
+    def test_backends_agree(self, expr, source):
         reference = evaluate(expr, source, backend="interpreted")
-        compiled = evaluate(expr, source, backend="compiled")
-        assert compiled == reference
-        # Second run hits the plan cache; results must not change.
-        assert evaluate(expr, source, backend="compiled") == reference
+        for backend in CHECKED_BACKENDS[1:]:
+            assert evaluate(expr, source, backend=backend) == reference, backend
+            # Second run hits the plan/conversion caches; results must not change.
+            assert evaluate(expr, source, backend=backend) == reference, backend
 
     @settings(max_examples=60, deadline=None)
     @given(expr=rel_exprs(), source=databases())
     def test_backends_raise_identically(self, expr, source):
         """When one backend raises (e.g. AVG over an empty-group division),
-        the other raises the same exception type."""
+        every other backend raises the same exception type. The columnar
+        backend earns this via per-node fallback: a kernel that cannot
+        represent the input re-runs the compiled kernel, which reproduces
+        the reference exception."""
         try:
             reference = evaluate(expr, source, backend="interpreted")
             failure = None
         except Exception as exc:  # noqa: BLE001 - comparing failure modes
             reference, failure = None, type(exc)
-        if failure is None:
-            assert evaluate(expr, source, backend="compiled") == reference
-        else:
-            with pytest.raises(failure):
-                evaluate(expr, source, backend="compiled")
+        for backend in CHECKED_BACKENDS[1:]:
+            if failure is None:
+                assert evaluate(expr, source, backend=backend) == reference, backend
+            else:
+                with pytest.raises(failure):
+                    evaluate(expr, source, backend=backend)
 
 
 # -- maintainer I/O equality -----------------------------------------------------------
@@ -243,10 +254,11 @@ class TestMaintainerIOEquality:
         ),
     )
     def test_views_and_io_charges_identical(self, seed, marking_bits, kinds):
-        compiled_views, compiled_io = _run_stream("compiled", seed, marking_bits, kinds)
         interp_views, interp_io = _run_stream("interpreted", seed, marking_bits, kinds)
-        assert compiled_views == interp_views
-        assert compiled_io == interp_io
+        for backend in CHECKED_BACKENDS[1:]:
+            views, io = _run_stream(backend, seed, marking_bits, kinds)
+            assert views == interp_views, backend
+            assert io == interp_io, backend
 
     def test_plan_cache_accumulates(self):
         cache = plan_cache()
@@ -254,3 +266,28 @@ class TestMaintainerIOEquality:
         _run_stream("compiled", 7, 0b1111, ["EmpIns", ">DeptBud", "EmpDel"])
         assert cache.stats["misses"] >= 0  # stats stay consistent
         assert cache.stats["entries"] == len(cache)
+
+
+# -- engine policies × backends --------------------------------------------------------
+
+from tests.property.test_commit_cache_props import (  # noqa: E402
+    KINDS as ENGINE_KINDS,
+    _run_stream as _engine_stream,
+)
+
+
+class TestPolicyBackendEquality:
+    """Full engine streams (commit/rollback/defer) under every maintenance
+    policy: state, per-transaction outcomes, and total charged I/O must be
+    indistinguishable across all backends."""
+
+    @pytest.mark.parametrize("policy", ["immediate", "deferred", "enforce"])
+    @settings(max_examples=5, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        kinds=st.lists(st.sampled_from(ENGINE_KINDS), min_size=1, max_size=8),
+    )
+    def test_engine_streams_identical_across_backends(self, policy, seed, kinds):
+        reference = _engine_stream(seed, kinds, policy, "interpreted", True)
+        for backend in CHECKED_BACKENDS[1:]:
+            assert _engine_stream(seed, kinds, policy, backend, True) == reference, backend

@@ -1,0 +1,270 @@
+"""Unit tests for the columnar execution backend: codec round-trips, the
+per-session conversion cache, observable per-node fallback, probe-path
+charge parity, and the backend-selection plumbing (env var warning,
+``set_default_backend`` errors, graceful no-numpy degradation).
+
+The selection-plumbing tests run on every install; everything touching
+arrays skips cleanly when numpy is absent so the no-numpy CI job stays
+green on this file.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra import compile as compile_mod
+from repro.algebra.compile import (
+    BACKENDS,
+    columnar_available,
+    default_backend,
+    set_default_backend,
+)
+from repro.algebra.evaluate import evaluate
+from repro.algebra.multiset import Multiset
+from repro.obs.metrics import get_metrics
+
+needs_numpy = pytest.mark.skipif(
+    not columnar_available(), reason="columnar backend requires numpy"
+)
+
+
+# -- backend selection plumbing (no numpy required) ----------------------------------
+
+
+class TestBackendSelection:
+    def test_unknown_env_value_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "vectorised")
+        with pytest.warns(RuntimeWarning, match="unknown REPRO_EXEC_BACKEND"):
+            assert compile_mod._backend_from_env() == "compiled"
+
+    def test_empty_env_value_is_silent(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "")
+        assert compile_mod._backend_from_env() == "compiled"
+
+    def test_set_default_backend_error_lists_all_backends(self):
+        with pytest.raises(ValueError, match="columnar"):
+            set_default_backend("bogus")
+
+    def test_backends_tuple_contains_columnar(self):
+        assert "columnar" in BACKENDS
+
+    def test_columnar_without_numpy_degrades_to_compiled(self, monkeypatch):
+        monkeypatch.setattr(compile_mod, "_columnar_available", False)
+        try:
+            with pytest.warns(RuntimeWarning, match=r"repro\[columnar\]"):
+                set_default_backend("columnar")
+            assert default_backend() == "compiled"
+        finally:
+            set_default_backend("compiled")
+
+    def test_env_columnar_without_numpy_degrades(self, monkeypatch):
+        monkeypatch.setattr(compile_mod, "_columnar_available", False)
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "columnar")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert compile_mod._backend_from_env() == "compiled"
+
+
+# -- codec ---------------------------------------------------------------------------
+
+
+@needs_numpy
+class TestCodec:
+    def test_round_trip_mixed_types(self):
+        from repro.algebra.columnar import ColumnSet
+
+        ms = Multiset()
+        ms.add((1, "alice", 2.5), 3)
+        ms.add((-7, "bob", 0.0), 1)
+        ms.add((2**40, "carol", -1.25), 2)  # wide int -> object column
+        cs = ColumnSet.from_multiset(ms, ("a", "b", "c"))
+        assert cs.to_multiset() == ms
+
+    def test_round_trip_preserves_python_types(self):
+        from repro.algebra.columnar import ColumnSet
+
+        ms = Multiset()
+        ms.add((1, 10), 2)
+        ms.add((2, -20), 5)
+        back = ColumnSet.from_multiset(ms, ("x", "y")).to_multiset()
+        assert back == ms
+        for row, count in back.items():
+            assert all(type(v) is int for v in row)
+            assert type(count) is int
+
+    def test_round_trip_negative_counts(self):
+        from repro.algebra.columnar import ColumnSet
+
+        ms = Multiset()
+        ms.add((1, 2), -3)
+        ms.add((4, 5), 7)
+        assert ColumnSet.from_multiset(ms, ("x", "y")).to_multiset() == ms
+
+    def test_round_trip_empty(self):
+        from repro.algebra.columnar import ColumnSet
+
+        cs = ColumnSet.from_multiset(Multiset(), ("x", "y"))
+        assert cs.n == 0
+        assert cs.to_multiset() == Multiset()
+
+    def test_fast_path_rejects_bools_and_floats(self):
+        """fromiter would silently coerce bool/float to int64; the strict
+        type gate must route such rows to the object codec instead."""
+        import numpy as np
+
+        from repro.algebra.columnar import ColumnSet
+
+        ms = Multiset()
+        ms.add((True, 1.5), 2)
+        cs = ColumnSet.from_multiset(ms, ("x", "y"))
+        assert cs.cols["x"].dtype == object
+        (row, count), = cs.to_multiset().items()
+        assert type(row[0]) is bool and type(row[1]) is float
+        assert np.int64 is not type(row[0])  # no numpy scalars leak out
+
+    def test_huge_ints_survive(self):
+        from repro.algebra.columnar import ColumnSet
+
+        ms = Multiset()
+        ms.add((2**80, 1), 1)  # overflows even the int64 fromiter fast path
+        assert ColumnSet.from_multiset(ms, ("x", "y")).to_multiset() == ms
+
+
+# -- conversion cache ----------------------------------------------------------------
+
+
+@needs_numpy
+class TestConversionCache:
+    def _db(self):
+        from repro.algebra.schema import Schema
+        from repro.algebra.types import DataType
+        from repro.storage.database import Database
+
+        db = Database()
+        schema = Schema.of(("a", DataType.INT), ("b", DataType.INT))
+        db.create_relation("T", schema, [(1, 10), (2, 20)], indexes=[["a"]])
+        return db
+
+    def test_hit_until_mutation_then_reencode(self):
+        from repro.algebra.columnar import conversion_cache
+
+        db = self._db()
+        rel = db.relation("T")
+        cache = conversion_cache()
+        first = cache.entry(rel)
+        assert cache.entry(rel) is first  # same version -> cache hit
+        hits_before = cache.hits
+        assert cache.hits == hits_before
+
+        from repro.ivm.delta import Delta
+
+        rel.apply_delta(Delta.insertion([(3, 30)]))
+        second = cache.entry(rel)
+        assert second is not first  # version bump invalidated the entry
+        assert second.cs.to_multiset() == rel.contents()
+
+    def test_version_counter_tracks_mutations(self):
+        from repro.ivm.delta import Delta
+
+        db = self._db()
+        rel = db.relation("T")
+        v0 = rel.version
+        rel.apply_delta(Delta.deletion([(1, 10)]))
+        assert rel.version > v0
+
+
+# -- observable fallback -------------------------------------------------------------
+
+
+@needs_numpy
+class TestFallback:
+    def test_division_falls_back_observably(self):
+        """Float division isn't representable in the int64 kernels; the
+        node must re-run on the compiled backend and count the fallback."""
+        from repro.algebra.operators import Scan, Select
+        from repro.algebra.predicates import Compare
+        from repro.algebra.scalar import Arith, Col, Const
+        from repro.algebra.schema import Schema
+        from repro.algebra.types import DataType
+
+        scan = Scan("R", Schema.of(("a", DataType.INT), ("b", DataType.INT)))
+        expr = Select(scan, Compare(">", Arith("/", Col("a"), Const(2)), Const(1)))
+        source = {"R": Multiset([(4, 1), (1, 2)])}
+        counter = get_metrics().counter("columnar.fallback.select")
+        before = counter.value
+        result = evaluate(expr, source, backend="columnar")
+        assert result == evaluate(expr, source, backend="interpreted")
+        assert counter.value == before + 1
+        assert get_metrics().counter("columnar.fallback").value > 0
+
+    def test_reference_exceptions_survive_fallback(self):
+        """The compiled re-run reproduces the reference failure mode."""
+        from repro.algebra.operators import Project, Scan
+        from repro.algebra.scalar import Arith, Col, Const
+        from repro.algebra.schema import Schema
+        from repro.algebra.types import DataType
+
+        scan = Scan("R", Schema.of(("a", DataType.INT),))
+        expr = Project(scan, (("q", Arith("/", Col("a"), Const(0))),))
+        source = {"R": Multiset([(1,)])}
+        with pytest.raises(ZeroDivisionError):
+            evaluate(expr, source, backend="columnar")
+
+
+# -- probe-path charge parity --------------------------------------------------------
+
+
+@needs_numpy
+class TestProbeParity:
+    def test_spine_probe_matches_bucket_path(self):
+        """The batched columnar probe must produce the same net delta and
+        the same I/O charges as the per-row probe_buckets path."""
+        from repro.algebra.operators import Join
+        from repro.ivm.delta import Delta
+        from repro.ivm.propagate import propagate_join_spine_net
+        from repro.workload.generators import chain_view, load_chain_database
+
+        def spine_of(view):
+            spine = []
+            expr = view
+            while isinstance(expr, Join):
+                spine.append(expr)
+                expr = expr.left
+            spine.reverse()
+            return spine
+
+        def fetch_for(db, join):
+            cols = sorted(join.join_columns)
+            rel = db.relation(join.right.name)
+
+            def fetch(keys):
+                return rel.lookup_many(cols, keys)
+
+            fetch.buckets = lambda keys: rel.lookup_buckets(cols, keys)
+            fetch.columnar_rel = rel
+            return fetch
+
+        def run(backend):
+            set_default_backend(backend)
+            try:
+                db = load_chain_database(3, 120, seed=17)
+                view = chain_view(3)
+                spine = spine_of(view)
+                fetches = [fetch_for(db, j) for j in spine]
+                rows = sorted(db.relation("R1").contents().rows())
+                rng = random.Random(23)
+                pairs = [
+                    (old, (old[0], old[1], old[2] + 1))
+                    for old in rng.sample(rows, 30)
+                ]
+                net = Delta.modification(pairs).net()
+                db.counter.reset()
+                result = propagate_join_spine_net(spine, net, fetches)
+                return result, db.counter.snapshot()
+            finally:
+                set_default_backend("compiled")
+
+        compiled_net, compiled_io = run("compiled")
+        columnar_net, columnar_io = run("columnar")
+        assert columnar_net == compiled_net
+        assert columnar_io == compiled_io
+        assert compiled_io.total > 0  # the probe actually charged something
