@@ -1,0 +1,213 @@
+"""Experiment E12 — shard scaling: co-partitioned vs broadcast maintenance.
+
+A k=4 star join S1 ⋈ S2 ⋈ S3 ⋈ S4 on the shared key K, materialized at
+the root, maintained under batched V1 modifications:
+
+* **co-partitioned** — every relation (and the view) hash-partitioned on
+  K: the whole update track is a per-shard prefix, so the sequential
+  sharded run is bit-identical to unsharded and the parallel run divides
+  the propagation across a worker pool;
+* **broadcast** — each S_i partitioned on its private V_i column: no join
+  is co-partitioned, every track gathers immediately, and sharding buys
+  nothing (the control).
+
+At every scale the benchmark asserts the §3.6 page-I/O accounting is
+**exactly equal** across unsharded / sequential-sharded / parallel-sharded
+runs — sharding routes tuples, it never changes what is charged. The
+wall-clock speedup floor (≥2.0× with 4 workers at the top scale) is a
+physical claim about parallel hardware, so it is asserted only when the
+machine actually has ≥4 cores and ``REPRO_BENCH_SMOKE`` is unset.
+
+The full run writes ``benchmarks/BENCH_shard.json``.
+"""
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from conftest import emit, format_table
+
+from repro.core.optimizer import evaluate_view_set
+from repro.cost.estimates import DagEstimator
+from repro.cost.model import CostConfig
+from repro.cost.page_io import PageIOCostModel
+from repro.dag.builder import build_dag
+from repro.ivm.delta import Delta
+from repro.ivm.maintainer import ViewMaintainer
+from repro.storage.statistics import Catalog
+from repro.workload.generators import load_star_database, star_view
+from repro.workload.transactions import Transaction, TransactionType, UpdateSpec
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+K = 4
+N_SHARDS = 4
+SCALES = (300,) if SMOKE else (3_000, 30_000, 100_000)
+N_TXNS = 2 if SMOKE else 3
+CORES = os.cpu_count() or 1
+
+PARALLEL_SPEEDUP_FLOOR = 2.0  # parallel over sequential, top scale, 4 workers
+
+_RESULTS_FILE = Path(__file__).parent / "BENCH_shard.json"
+
+
+def _batch(rows: int) -> int:
+    return max(rows // 20, 10)
+
+
+def _build(rows: int, shards: int, partition_on: str = "K", parallel: bool = False):
+    db = load_star_database(
+        K, rows, seed=7, shards=shards, partition_on=partition_on
+    )
+    view = star_view(K)
+    dag = build_dag(view)
+    estimator = DagEstimator(dag.memo, Catalog.from_database(db))
+    cost_model = PageIOCostModel(
+        dag.memo,
+        estimator,
+        CostConfig(charge_root_update=False, root_group=dag.root),
+    )
+    txn_types = (
+        TransactionType(
+            ">S1",
+            {
+                "S1": UpdateSpec(
+                    modifies=_batch(rows), modified_columns=frozenset({"V1"})
+                )
+            },
+        ),
+    )
+    marking = frozenset({dag.root})
+    ev = evaluate_view_set(dag.memo, marking, txn_types, cost_model, estimator)
+    maintainer = ViewMaintainer(
+        db,
+        dag,
+        marking,
+        txn_types,
+        {name: plan.track for name, plan in ev.per_txn.items()},
+        estimator,
+        cost_model,
+        parallel_shards=parallel,
+    )
+    maintainer.materialize()
+    return db, maintainer
+
+
+def _txn_stream(db, rows: int, n: int):
+    """n+1 deterministic batched V1 modifications (first one is warmup)."""
+    current = {row[0]: row for row in db.relation("S1").contents().rows()}
+    rng = random.Random(31)
+    stream = []
+    for _ in range(n + 1):
+        pairs = []
+        for key in rng.sample(sorted(current), _batch(rows)):
+            old = current[key]
+            new = (old[0], old[1] + 1)
+            current[key] = new
+            pairs.append((old, new))
+        stream.append(Transaction(">S1", {"S1": Delta.modification(pairs)}))
+    return stream
+
+
+def _run(rows: int, shards: int, partition_on: str = "K", parallel: bool = False):
+    db, maintainer = _build(rows, shards, partition_on, parallel)
+    stream = _txn_stream(db, rows, N_TXNS)
+    maintainer.apply(stream[0])  # warmup: compiles the track's kernels
+    db.counter.reset()
+    started = time.perf_counter()
+    for txn in stream[1:]:
+        maintainer.apply(txn)
+    wall = time.perf_counter() - started
+    io = db.counter.snapshot()
+    plan = maintainer.last_shard_plan
+    maintainer.verify()
+    return {
+        "wall_s": wall,
+        "io_total": io.total,
+        "io": {
+            "index_reads": io.index_reads,
+            "index_writes": io.index_writes,
+            "tuple_reads": io.tuple_reads,
+            "tuple_writes": io.tuple_writes,
+        },
+        "mode": plan.mode if plan is not None else "unsharded",
+    }
+
+
+class TestShardScaling:
+    def test_scaling_sweep(self):
+        report = {
+            "k": K,
+            "n_shards": N_SHARDS,
+            "n_txns": N_TXNS,
+            "cores": CORES,
+            "smoke": SMOKE,
+            "scales": [],
+        }
+        rows_out = []
+        for rows in SCALES:
+            plain = _run(rows, shards=0)
+            seq = _run(rows, shards=N_SHARDS)
+            par = _run(rows, shards=N_SHARDS, parallel=True)
+            bcast = _run(rows, shards=N_SHARDS, partition_on="V")
+
+            assert seq["mode"] == "co-partitioned"
+            assert par["mode"] == "co-partitioned"
+            assert bcast["mode"] == "broadcast"
+            # Sharding is routing only: identical page-I/O accounting,
+            # sequential or parallel, co-partitioned or broadcast.
+            assert seq["io"] == plain["io"], f"sequential IO diverged at {rows}"
+            assert par["io"] == plain["io"], f"parallel IO diverged at {rows}"
+            assert bcast["io"] == plain["io"], f"broadcast IO diverged at {rows}"
+
+            speedup = seq["wall_s"] / par["wall_s"] if par["wall_s"] > 0 else 0.0
+            entry = {
+                "rows": rows,
+                "batch": _batch(rows),
+                "unsharded": plain,
+                "sequential": seq,
+                "parallel": par,
+                "broadcast": bcast,
+                "parallel_speedup": round(speedup, 3),
+            }
+            report["scales"].append(entry)
+            rows_out.append(
+                [
+                    rows,
+                    _batch(rows),
+                    f"{plain['wall_s']:.3f}",
+                    f"{seq['wall_s']:.3f}",
+                    f"{par['wall_s']:.3f}",
+                    f"{bcast['wall_s']:.3f}",
+                    f"{speedup:.2f}x",
+                    plain["io_total"],
+                ]
+            )
+
+        emit(
+            format_table(
+                f"E12 shard scaling — k={K} star, {N_SHARDS} shards, "
+                f"{CORES} core(s)",
+                [
+                    "rows",
+                    "batch",
+                    "plain_s",
+                    "seq_s",
+                    "par_s",
+                    "bcast_s",
+                    "par_speedup",
+                    "io",
+                ],
+                rows_out,
+            )
+        )
+        _RESULTS_FILE.write_text(json.dumps(report, indent=2) + "\n")
+
+        if not SMOKE and CORES >= N_SHARDS:
+            top = report["scales"][-1]
+            assert top["parallel_speedup"] >= PARALLEL_SPEEDUP_FLOOR, (
+                f"parallel speedup {top['parallel_speedup']} below "
+                f"{PARALLEL_SPEEDUP_FLOOR}x at {top['rows']} rows"
+            )

@@ -49,6 +49,9 @@ _TYPES = {
     "bool": DataType.BOOL,
 }
 
+#: Maintenance policies ``run`` accepts, in help order.
+POLICIES = ("immediate", "deferred", "enforce")
+
 
 class WorkloadParseError(Exception):
     """Raised for malformed workload description files."""
@@ -177,6 +180,8 @@ def run_stream(
     seed: int = 0,
     trace_path: str | None = None,
     durable_path: str | None = None,
+    shards: int | None = None,
+    parallel: bool = False,
 ) -> str:
     """Commit a random paper-workload stream through the engine.
 
@@ -195,6 +200,13 @@ def run_stream(
     store at that directory (``run --durable DIR``). The stream report is
     unchanged — the paper's simulated accounting is durable-neutral — and
     a trailing ``durable:`` line reports the actual pager traffic.
+
+    ``shards`` (``run --shards N`` / ``REPRO_SHARDS``) stores Emp, Dept
+    and every materialized view hash-partitioned on DName — the workload's
+    join and grouping key, so co-partitioned tracks stay shard-local — and
+    ``parallel`` (``run --parallel`` / ``REPRO_SHARD_PARALLEL``) runs
+    co-partitioned prefixes in a worker pool. Either way the report's
+    results and page-I/O accounting are bit-identical to an unsharded run.
     """
     import random
 
@@ -211,9 +223,15 @@ def run_stream(
     from repro.workload.runner import run_transactions
     from repro.workload.transactions import paper_transactions
 
-    if policy not in ("immediate", "deferred", "enforce"):
-        raise ValueError(f"unknown policy {policy!r}")
-    db = Database(durable_path=durable_path)
+    if policy not in POLICIES:
+        raise ValueError(
+            f"unknown maintenance policy {policy!r}; expected one of {POLICIES}"
+        )
+    db = Database(
+        durable_path=durable_path,
+        shards=shards,
+        partition_keys={"Emp": ("DName",), "Dept": ("DName",)},
+    )
     if "Emp" not in db:
         # A recovered durable directory keeps its relations; otherwise
         # seed the corporate database as usual.
@@ -223,7 +241,11 @@ def run_stream(
         db.create_relation("Dept", DEPT_SCHEMA, data["Dept"], indexes=[["DName"]])
         db.create_relation("Emp", EMP_SCHEMA, data["Emp"], indexes=[["DName"]])
     system = AssertionSystem(
-        db, [DEPT_CONSTRAINT], paper_transactions(), enforce=(policy == "enforce")
+        db,
+        [DEPT_CONSTRAINT],
+        paper_transactions(),
+        enforce=(policy == "enforce"),
+        parallel_shards=parallel or None,
     )
     if policy == "deferred":
         engine = Engine(
@@ -289,6 +311,9 @@ def run_stream(
         lines.append(f"  {name}: {count} violating rows entered")
     for name, count in sorted(report.cleared_violations.items()):
         lines.append(f"  {name}: {count} violating rows cleared")
+    if db.shards:
+        mode = "parallel" if system.maintainer.parallel_shards else "sequential"
+        lines.append(f"shards: {db.shards} ({mode})")
     if db.durable is not None:
         lines.append(f"durable: {db.durable.stats.describe()}")
         db.close()
@@ -304,6 +329,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             trace_path=args.trace,
             durable_path=args.durable,
+            shards=args.shards,
+            parallel=args.parallel,
         )
     )
     if args.trace:
@@ -386,7 +413,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run", help="commit a random paper workload through the engine"
     )
     run.add_argument(
-        "--policy", choices=["immediate", "deferred", "enforce"],
+        "--policy", choices=list(POLICIES),
         default="immediate", help="maintenance policy for the engine",
     )
     run.add_argument("--n-txns", type=int, default=100, help="stream length")
@@ -402,6 +429,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     run.add_argument(
         "--durable", metavar="DIR", default=None,
         help="WAL-protected page storage at DIR (recovers a previous run)",
+    )
+    run.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="hash-partition storage across N shards (default: REPRO_SHARDS)",
+    )
+    run.add_argument(
+        "--parallel", action="store_true",
+        help="run co-partitioned track prefixes in a shard worker pool",
     )
     run.set_defaults(func=_cmd_run)
     shell = sub.add_parser(

@@ -1,0 +1,347 @@
+"""Shard-track planning: which prefix of an update track is co-partitioned.
+
+The runtime and the cost model share one question: *through which track
+operations can a per-shard delta propagate without ever needing rows from
+another shard?* The answer reuses the DAG's existing key analysis:
+
+* each updated base relation seeds an **alignment** — the ordered tuple
+  of its partition columns, whose values determine the owning shard;
+* the alignment survives an operation exactly when equal alignment values
+  keep landing on the same shard *and* the operation's maintenance query
+  can be answered per-shard with unchanged charges:
+
+  - ``Select`` and non-dedup ``Project`` (rename-tracking) pass it through;
+  - a ``Join`` passes it when every delta-carrying child is aligned on a
+    subset of the join columns (two carriers: on the *same* columns — the
+    join pairs rows by these values, so co-partitioning guarantees both
+    halves of every pair sit in one shard) and every fetched child is
+    direct storage (a leaf or a marked view) whose FD-reduced probe-column
+    set still contains the alignment: one disjoint-keyed index probe per
+    shard, charges summing exactly to the unsharded probe;
+  - a ``GroupAggregate`` passes it when the incoming delta is **complete**
+    on the grouping columns (the estimator's delta-completeness analysis)
+    and the alignment sits inside ``group_by`` — whole groups then live in
+    one shard and ``propagate_aggregate_full_groups`` touches no storage;
+  - everything else (dedup, difference, self-maintained aggregates, a
+    renamed-away alignment) is a **gather point**.
+
+The walk stops at the first gather point: the *prefix* (everything before
+it, in the track's topological order) runs once per shard; the *suffix*
+runs once in the coordinator on the merged deltas — which is what makes
+sharded execution bit-identical to unsharded by construction.
+
+:func:`shard_track_costs` prices the two tracks for the optimizer and
+``explain``-style diagnostics: a co-partitioned prefix costs the same
+total I/O but divides across shards (wall-clock), a broadcast track is
+simply the unsharded cost. Advisory only — it never perturbs the
+single-track plan choice, whose accounting is pinned bit-exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.algebra.operators import (
+    Difference,
+    DuplicateElim,
+    GroupAggregate,
+    Join,
+    Project,
+    Select,
+    Union,
+)
+from repro.algebra.scalar import Col
+from repro.dag.memo import Memo
+from repro.dag.nodes import OperationNode
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.tracks import UpdateTrack
+    from repro.cost.estimates import DagEstimator
+    from repro.cost.model import CostModel
+    from repro.workload.transactions import TransactionType
+
+Alignment = tuple[str, ...]
+
+
+def track_topological(memo: Memo, track: "UpdateTrack") -> list[int]:
+    """Children-first order of a track's groups — the same order (roots
+    sorted, children in ``child_ids`` order) the maintainer executes."""
+    order: list[int] = []
+    seen: set[int] = set()
+    for root in sorted(track):
+        if root in seen:
+            continue
+        seen.add(root)
+        stack = [(root, iter(track[root].child_ids))]
+        while stack:
+            gid, children = stack[-1]
+            descended = False
+            for cid in children:
+                cid = memo.find(cid)
+                if cid in seen or cid not in track:
+                    continue
+                seen.add(cid)
+                stack.append((cid, iter(track[cid].child_ids)))
+                descended = True
+                break
+            if not descended:
+                order.append(gid)
+                stack.pop()
+    return order
+
+
+@dataclass(frozen=True)
+class ShardTrackPlan:
+    """The co-partitioned prefix / gathered suffix split of one track."""
+
+    prefix: tuple[int, ...]
+    suffix: tuple[int, ...]
+    alignments: Mapping[int, Alignment] = field(default_factory=dict)
+    gather_reason: str | None = None
+
+    @property
+    def co_partitioned(self) -> bool:
+        return bool(self.prefix)
+
+    @property
+    def mode(self) -> str:
+        return "co-partitioned" if self.prefix else "broadcast"
+
+
+def _direct_storage_ok(
+    memo: Memo,
+    estimator: "DagEstimator",
+    marking: frozenset[int],
+    gid: int,
+    join_columns: frozenset[str],
+    alignment: Alignment,
+) -> bool:
+    """Whether fetching ``gid`` on ``join_columns`` is one per-shard-safe
+    index probe: direct storage, and the FD-reduced probe columns still
+    contain every alignment column (so per-shard key sets are disjoint
+    and no scan fallback is possible)."""
+    group = memo.group(gid)
+    if not (group.is_leaf or gid in marking):
+        return False
+    reduced = estimator.info(gid).reduce(join_columns)
+    return bool(reduced) and set(alignment) <= set(reduced)
+
+
+def _through_projection(
+    alignment: Alignment, outputs, projection: tuple[str, ...] | None
+) -> Alignment | None:
+    """Map an alignment through Project outputs (rename tracking), then
+    through an optional op-level column restriction; ``None`` = lost."""
+    renamed: list[str] = []
+    for col in alignment:
+        out_name = None
+        for name, expr in outputs:
+            if isinstance(expr, Col) and expr.name == col:
+                out_name = name
+                break
+        if out_name is None:
+            return None
+        renamed.append(out_name)
+    if projection is not None and not set(renamed) <= set(projection):
+        return None
+    return tuple(renamed)
+
+
+def _op_alignment(
+    memo: Memo,
+    estimator: "DagEstimator",
+    marking: frozenset[int],
+    op: OperationNode,
+    alignments: Mapping[int, Alignment],
+    txn: "TransactionType",
+) -> tuple[Alignment | None, str | None]:
+    """The output alignment of one track op, or ``(None, reason)`` when
+    the op is a gather point."""
+    template = op.template
+    children = [memo.find(c) for c in op.child_ids]
+    # Per child: (alignment or None, carries-a-delta?). A child carries a
+    # delta when the walk already aligned it or the estimator says the
+    # transaction affects it — an affected child *without* an alignment
+    # (an unsharded or unalignable delta source) forces a gather.
+    states = [
+        (alignments.get(c), c in alignments or estimator.affected(c, txn))
+        for c in children
+    ]
+    for alignment, carries in states:
+        if carries and alignment is None:
+            return None, "delta-carrying input is not aligned"
+
+    if isinstance(template, Select):
+        alignment, carries = states[0]
+        if not carries:
+            return None, "no aligned delta flows through select"
+    elif isinstance(template, Project):
+        if template.dedup:
+            return None, "dedup projection needs global counts"
+        alignment, carries = states[0]
+        if not carries:
+            return None, "no aligned delta flows through project"
+        alignment = _through_projection(alignment, template.outputs, None)
+        if alignment is None:
+            return None, "projection drops a partition column"
+    elif isinstance(template, Join):
+        jc = frozenset(template.join_columns)
+        carriers = [i for i in (0, 1) if states[i][1]]
+        if not carriers:
+            return None, "no aligned delta flows through join"
+        for i in carriers:
+            if not set(states[i][0]) <= jc:  # type: ignore[arg-type]
+                return None, "carrier not aligned on the join columns"
+        if len(carriers) == 2:
+            if states[0][0] != states[1][0]:
+                return None, "join inputs aligned on different columns"
+            fetched = [0, 1]
+        else:
+            fetched = [1 - carriers[0]]
+        alignment = states[carriers[0]][0]
+        for i in fetched:
+            if not _direct_storage_ok(
+                memo, estimator, marking, children[i], jc, alignment  # type: ignore[arg-type]
+            ):
+                return None, "join fetch side is not shard-safe storage"
+    elif isinstance(template, GroupAggregate):
+        alignment, carries = states[0]
+        if not carries:
+            return None, "no aligned delta flows through aggregate"
+        est_delta = estimator.delta(children[0], txn)
+        if est_delta is None or not est_delta.is_complete_on(template.group_by):
+            return None, "aggregate delta not complete on the grouping columns"
+        if not set(alignment) <= set(template.group_by):  # type: ignore[arg-type]
+            return None, "aggregate groups span shards"
+    elif isinstance(template, Union):
+        present = [a for a, carries in states if carries]
+        if not present:
+            return None, "no aligned delta flows through union"
+        alignment = present[0]
+        for other in present[1:]:
+            if other != alignment:
+                return None, "union inputs aligned on different columns"
+    elif isinstance(template, (DuplicateElim, Difference)):
+        return None, f"{type(template).__name__} needs global counts"
+    else:
+        return None, f"cannot shard through {type(template).__name__}"
+
+    if op.projection is not None:
+        identity = tuple((n, Col(n)) for n in op.projection)
+        alignment = _through_projection(alignment, identity, op.projection)
+        if alignment is None:
+            return None, "op projection drops a partition column"
+    return alignment, None
+
+
+def plan_track_sharding(
+    memo: Memo,
+    estimator: "DagEstimator",
+    marking: frozenset[int],
+    track: "UpdateTrack",
+    txn: "TransactionType",
+    seed_alignments: Mapping[int, Alignment],
+    order: list[int] | None = None,
+) -> ShardTrackPlan:
+    """Split ``track`` into the co-partitioned prefix and gathered suffix.
+
+    ``seed_alignments`` maps each updated leaf group to its relation's
+    partition columns. The prefix is the longest topological prefix where
+    every op preserves an alignment; the first gather point and everything
+    after it form the suffix.
+    """
+    if order is None:
+        order = track_topological(memo, track)
+    alignments: dict[int, Alignment] = dict(seed_alignments)
+    prefix: list[int] = []
+    reason: str | None = None
+    for gid in order:
+        alignment, reason = _op_alignment(
+            memo, estimator, marking, track[gid], alignments, txn
+        )
+        if alignment is None:
+            break
+        alignments[gid] = alignment
+        prefix.append(gid)
+    return ShardTrackPlan(
+        prefix=tuple(prefix),
+        suffix=tuple(order[len(prefix):]),
+        alignments=alignments,
+        gather_reason=reason,
+    )
+
+
+@dataclass(frozen=True)
+class ShardCosts:
+    """Advisory costing of one track under a shard layout.
+
+    ``sequential_io`` is the unsharded (and sequential-sharded — they are
+    bit-identical) page-I/O estimate for the track's maintenance queries;
+    ``parallel_io`` models the per-worker critical path when the prefix
+    runs across ``n_shards`` workers: prefix cost divides, the gathered
+    suffix does not.
+    """
+
+    mode: str
+    n_shards: int
+    prefix: tuple[int, ...]
+    suffix: tuple[int, ...]
+    sequential_io: float
+    parallel_io: float
+    gather_reason: str | None = None
+
+    @property
+    def speedup(self) -> float:
+        if self.parallel_io <= 0:
+            return 1.0
+        return self.sequential_io / self.parallel_io
+
+
+def shard_track_costs(
+    memo: Memo,
+    estimator: "DagEstimator",
+    cost_model: "CostModel",
+    marking: frozenset[int],
+    track: "UpdateTrack",
+    txn: "TransactionType",
+    seed_alignments: Mapping[int, Alignment],
+    n_shards: int,
+) -> ShardCosts:
+    """Price a track's co-partitioned vs broadcast execution.
+
+    Uses the same per-op maintenance queries the optimizer costs
+    (``derive_queries`` + ``query_cost``): per-op costs attributed to the
+    prefix divide by ``n_shards`` in the parallel estimate, suffix costs
+    do not, and a broadcast track is simply the sequential cost.
+    """
+    from repro.dag.queries import derive_queries
+
+    order = track_topological(memo, track)
+    plan = plan_track_sharding(
+        memo, estimator, marking, track, txn, seed_alignments, order=order
+    )
+    prefix_set = set(plan.prefix)
+    prefix_cost = 0.0
+    suffix_cost = 0.0
+    for gid in order:
+        queries = derive_queries(memo, track[gid], txn, marking, estimator)
+        cost = cost_model.total_query_cost(queries, marking, txn)
+        if gid in prefix_set:
+            prefix_cost += cost
+        else:
+            suffix_cost += cost
+    sequential = prefix_cost + suffix_cost
+    if plan.co_partitioned and n_shards > 1:
+        parallel = prefix_cost / n_shards + suffix_cost
+    else:
+        parallel = sequential
+    return ShardCosts(
+        mode=plan.mode,
+        n_shards=n_shards,
+        prefix=plan.prefix,
+        suffix=plan.suffix,
+        sequential_io=sequential,
+        parallel_io=parallel,
+        gather_reason=plan.gather_reason,
+    )

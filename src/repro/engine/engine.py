@@ -281,10 +281,17 @@ class Engine:
             ds = durable.stats
             if ds.pool_hits or ds.pool_misses:
                 m.observe_cache("buffer_pool", ds.pool_hits, ds.pool_misses)
+            m.gauge("durable.pool_hit_rate").set(ds.hit_rate)
             for key, value in ds.snapshot().items():
                 if key in ("pool_hits", "pool_misses"):
                     continue
                 m.gauge(f"durable.{key}").set(value)
+        # Sharded storage: shard count and track-routing counters are kept
+        # by the maintainer; surface the layout here so a report shows it
+        # even for streams whose tracks all broadcast.
+        shards = getattr(self.db, "shards", 0)
+        if shards:
+            m.gauge("shard.count").set(shards)
 
     @property
     def pending(self) -> int:

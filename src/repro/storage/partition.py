@@ -1,0 +1,137 @@
+"""Partitioners: deterministic row → shard assignment over key columns.
+
+A :class:`Partitioner` maps a tuple of partition-column *values* to a shard
+number. Two properties matter to the maintenance runtime:
+
+* **Determinism across processes.** Shard assignment feeds parallel
+  workers and must agree between runs and across ``multiprocessing``
+  children, so hashing uses a CRC-based stable hash instead of Python's
+  ``hash()`` (which is randomized per process by ``PYTHONHASHSEED``).
+* **Value-based compatibility.** Delta propagation through a join never
+  crosses shards exactly when both inputs send equal join-key values to
+  the same shard — :meth:`Partitioner.compatible` is that check, and it
+  deliberately ignores column *names* (``Emp.DName`` and ``Dept.DName``
+  are distinct columns carrying the same values).
+
+The sharded storage mode is opt-in: ``Database(shards=N)`` or the
+``REPRO_SHARDS`` environment variable (0/unset = off); parallel shard
+maintenance additionally needs ``parallel_shards=True`` on the maintainer
+or ``REPRO_SHARD_PARALLEL=1``. See ``docs/architecture.md``
+("Sharding & parallel maintenance").
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from bisect import bisect_right
+from typing import Any, Sequence
+
+
+def env_shards() -> int:
+    """Process default shard count (``REPRO_SHARDS``; 0/unset = unsharded)."""
+    value = os.environ.get("REPRO_SHARDS")
+    if value is None:
+        return 0
+    value = value.strip()
+    if not value:
+        return 0
+    try:
+        return max(0, int(value))
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SHARDS must be an integer shard count, got {value!r}"
+        ) from None
+
+
+def env_shard_parallel() -> bool:
+    """Process default for parallel shard tracks (``REPRO_SHARD_PARALLEL``)."""
+    value = os.environ.get("REPRO_SHARD_PARALLEL")
+    if value is None:
+        return False
+    return value.strip().lower() not in ("0", "false", "off", "no", "")
+
+
+def stable_hash(values: tuple[Any, ...]) -> int:
+    """A process-stable 32-bit hash of a value tuple.
+
+    FNV-1a over the CRC32 of each value's ``repr`` — deterministic across
+    processes and interpreter runs (unlike ``hash()``), cheap enough for
+    per-row routing, and well-mixed for the small key domains the paper's
+    workloads use.
+    """
+    h = 2166136261
+    for value in values:
+        h = ((h ^ zlib.crc32(repr(value).encode("utf-8"))) * 16777619) & 0xFFFFFFFF
+    return h
+
+
+class Partitioner:
+    """Base: a deterministic map from partition-column values to a shard."""
+
+    columns: tuple[str, ...]
+    n_shards: int
+
+    def shard_of(self, values: tuple[Any, ...]) -> int:
+        """The shard owning ``values`` (ordered as :attr:`columns`)."""
+        raise NotImplementedError
+
+    def compatible(self, other: "Partitioner") -> bool:
+        """Whether equal value tuples land on the same shard under both
+        partitioners (column names deliberately ignored — co-partitioning
+        is a property of the value → shard map)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}({','.join(self.columns)} → {self.n_shards})"
+
+
+class HashPartitioner(Partitioner):
+    """Shard by stable hash of the partition-column values."""
+
+    def __init__(self, columns: Sequence[str], n_shards: int) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if not columns:
+            raise ValueError("HashPartitioner needs at least one column")
+        self.columns = tuple(columns)
+        self.n_shards = int(n_shards)
+
+    def shard_of(self, values: tuple[Any, ...]) -> int:
+        return stable_hash(values) % self.n_shards
+
+    def compatible(self, other: Partitioner) -> bool:
+        return (
+            isinstance(other, HashPartitioner)
+            and other.n_shards == self.n_shards
+            and len(other.columns) == len(self.columns)
+        )
+
+
+class RangePartitioner(Partitioner):
+    """Shard by sorted cut points over the (single-column) partition value.
+
+    ``boundaries`` are the ascending upper-exclusive cut points: a value
+    ``v`` lands in the first shard whose boundary exceeds it, i.e. shard
+    ``bisect_right(boundaries, v)`` — ``len(boundaries) + 1`` shards total.
+    """
+
+    def __init__(self, columns: Sequence[str], boundaries: Sequence[Any]) -> None:
+        if not columns:
+            raise ValueError("RangePartitioner needs at least one column")
+        if len(columns) != 1:
+            raise ValueError("RangePartitioner supports exactly one column")
+        self.columns = tuple(columns)
+        self.boundaries = tuple(boundaries)
+        if list(self.boundaries) != sorted(self.boundaries):
+            raise ValueError("RangePartitioner boundaries must be ascending")
+        self.n_shards = len(self.boundaries) + 1
+
+    def shard_of(self, values: tuple[Any, ...]) -> int:
+        return bisect_right(self.boundaries, values[0])
+
+    def compatible(self, other: Partitioner) -> bool:
+        return (
+            isinstance(other, RangePartitioner)
+            and other.boundaries == self.boundaries
+        )

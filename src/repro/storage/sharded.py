@@ -1,0 +1,381 @@
+"""Sharded stored relations: per-shard rows, indexes, and version counters
+behind the ordinary :class:`~repro.storage.relation.StoredRelation` surface.
+
+Design rule: **sharding must be invisible to correctness and accounting.**
+Every read and write goes through the same public methods with the same
+paper §3.6 charges as the unsharded relation — the shards only add *routing*:
+
+* :class:`ShardedRelation` keeps the global multiset, key maps, and
+  ``version`` (so scans, columnar conversion, key checks, and
+  ``apply_delta`` charging are unsharded code paths verbatim) and
+  additionally routes every applied row to its shard, which keeps its own
+  row multiset and mutation ``version``.
+* :class:`ShardedIndex` holds one :class:`~repro.storage.index.HashIndex`
+  per shard. A probe whose key determines the partition columns is
+  **routed** to exactly one shard's index; any other probe **broadcasts**
+  (consults every shard). Both charge exactly what the global
+  ``HashIndex`` would: one index-page read per key plus one tuple read per
+  match — distinct keys own disjoint buckets and a row lives in exactly
+  one shard, so the merged result and its size are identical.
+* Each shard keeps a ``probes`` tally (bumped only while the I/O counter
+  is enabled) so tests can assert the headline invariant: co-partitioned
+  delta propagation never probes a remote shard.
+
+:func:`split_delta_by_shard` is the routing step the maintainer uses on a
+transaction's staged deltas; it refuses (returns ``None``) when a delta
+cannot be split without changing observable behaviour — a modification
+pair or a candidate-key-sharing delete/insert pair straddling shards —
+in which case the maintainer falls back to the broadcast (unsharded) track.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.algebra.compile import tuple_getter
+from repro.algebra.multiset import Multiset, Row
+from repro.algebra.schema import Schema
+from repro.ivm.delta import Delta
+from repro.storage.index import HashIndex
+from repro.storage.partition import Partitioner
+from repro.storage.pager import IOCounter
+from repro.storage.relation import StoredRelation
+
+
+class _Shard:
+    """One shard's private state: rows, a mutation counter, a probe tally."""
+
+    __slots__ = ("sid", "data", "version", "probes")
+
+    def __init__(self, sid: int) -> None:
+        self.sid = sid
+        self.data = Multiset()
+        self.version = 0
+        self.probes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<_Shard {self.sid}: {self.data.total()} rows, {self.probes} probes>"
+
+
+class ShardedIndex:
+    """Per-shard hash indexes behind the :class:`HashIndex` surface.
+
+    Charges are identical to a single global index; see the module
+    docstring for why. The ``key_of``/``keys_touched``/``apply`` surface
+    that :class:`StoredRelation`'s charging code uses stays *global* —
+    per-shard distinct-key counts would overcount keys that span shards
+    on a non-routable index.
+    """
+
+    def __init__(self, relation: "ShardedRelation", columns: tuple[str, ...]) -> None:
+        schema = relation.schema
+        self.columns = tuple(schema.resolve(c) for c in columns)
+        self._positions = tuple(schema.index_of(c) for c in self.columns)
+        self.key_of = tuple_getter(self._positions)
+        self._relation = relation
+        self._counter = relation.counter
+        self._shards = relation.shards
+        self._locals = [
+            HashIndex(schema, self.columns, relation.counter)
+            for _ in relation.shards
+        ]
+        # A probe key determines the shard iff it contains every partition
+        # column; precompute where they sit inside the key tuple.
+        pcols = relation.partition_columns
+        if set(pcols) <= set(self.columns):
+            positions = tuple(self.columns.index(c) for c in pcols)
+            self._route = tuple_getter(positions)
+        else:
+            self._route = None
+
+    @property
+    def routable(self) -> bool:
+        """Whether probe keys determine the owning shard (no broadcasts)."""
+        return self._route is not None
+
+    def _shard_of_key(self, key: tuple[Any, ...]) -> int:
+        return self._relation.partitioner.shard_of(self._route(key))
+
+    def _note(self, sid: int) -> None:
+        if self._counter.enabled:
+            self._shards[sid].probes += 1
+
+    # -- probes -------------------------------------------------------------------
+
+    def probe(self, key: tuple[Any, ...]) -> Multiset:
+        """One index-page read, one tuple read per match (routed or not)."""
+        if self._route is not None:
+            sid = self._shard_of_key(key)
+            self._note(sid)
+            return self._locals[sid].probe(key)
+        self._counter.charge_index_read()
+        out = Multiset()
+        matches = 0
+        for sid, local in enumerate(self._locals):
+            self._note(sid)
+            bucket = local._buckets.get(key)
+            if bucket is None:
+                continue
+            matches += local._totals[key]
+            out._counts.update(bucket._counts)
+        self._counter.charge_tuple_read(matches)
+        return out
+
+    def probe_many(self, keys: Iterable[tuple[Any, ...]]) -> Multiset:
+        """Batched probe, charge-identical to :meth:`HashIndex.probe_many`."""
+        out = Multiset()
+        counts = out._counts
+        n_keys = 0
+        matches = 0
+        route = self._route
+        if route is not None:
+            locals_ = self._locals
+            shard_of = self._relation.partitioner.shard_of
+            note = self._note
+            for key in keys:
+                n_keys += 1
+                sid = shard_of(route(key))
+                note(sid)
+                local = locals_[sid]
+                bucket = local._buckets.get(key)
+                if bucket is None:
+                    continue
+                matches += local._totals[key]
+                # A row lives in exactly one shard and distinct keys own
+                # disjoint buckets, so the C-level merge stays safe even
+                # for non-distinct iterables of *distinct* keys; repeated
+                # keys fall back to row-wise accumulation.
+                if counts.keys() & bucket._counts.keys():
+                    for row, count in bucket.items():
+                        counts[row] = counts.get(row, 0) + count
+                else:
+                    counts.update(bucket._counts)
+        else:
+            for key in keys:
+                n_keys += 1
+                for sid, local in enumerate(self._locals):
+                    self._note(sid)
+                    bucket = local._buckets.get(key)
+                    if bucket is None:
+                        continue
+                    matches += local._totals[key]
+                    if counts.keys() & bucket._counts.keys():
+                        for row, count in bucket.items():
+                            counts[row] = counts.get(row, 0) + count
+                    else:
+                        counts.update(bucket._counts)
+        self._counter.charge_index_read(n_keys)
+        self._counter.charge_tuple_read(matches)
+        return out
+
+    def probe_buckets(
+        self, keys: Iterable[tuple[Any, ...]]
+    ) -> dict[tuple[Any, ...], Multiset]:
+        """Bucket-grained probe, charge-identical to
+        :meth:`HashIndex.probe_buckets`. Routed keys return the owning
+        shard's bucket as a borrowed read-only view; broadcast keys whose
+        rows span shards return a fresh merged bucket (still read-only by
+        contract)."""
+        out: dict[tuple[Any, ...], Multiset] = {}
+        n_keys = 0
+        matches = 0
+        route = self._route
+        for key in keys:
+            n_keys += 1
+            if route is not None:
+                sid = self._shard_of_key(key)
+                self._note(sid)
+                local = self._locals[sid]
+                bucket = local._buckets.get(key)
+                if bucket is None:
+                    continue
+                matches += local._totals[key]
+                out[key] = bucket
+            else:
+                merged: Multiset | None = None
+                for sid, local in enumerate(self._locals):
+                    self._note(sid)
+                    bucket = local._buckets.get(key)
+                    if bucket is None:
+                        continue
+                    matches += local._totals[key]
+                    if merged is None:
+                        merged = bucket
+                    else:
+                        combined = Multiset()
+                        combined._counts.update(merged._counts)
+                        combined._counts.update(bucket._counts)
+                        merged = combined
+                if merged is not None:
+                    out[key] = merged
+        self._counter.charge_index_read(n_keys)
+        self._counter.charge_tuple_read(matches)
+        return out
+
+    def probe_free(self, key: tuple[Any, ...]) -> Multiset:
+        """Uncharged lookup (storage-internal use, like the unsharded one)."""
+        if self._route is not None:
+            return self._locals[self._shard_of_key(key)].probe_free(key)
+        out = Multiset()
+        for local in self._locals:
+            bucket = local._buckets.get(key)
+            if bucket is not None:
+                out._counts.update(bucket._counts)
+        return out
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def add(self, row: Row, count: int = 1) -> None:
+        if count == 0:
+            return
+        self._locals[self._relation.shard_of_row(row)].add(row, count)
+
+    def apply(self, delta: Multiset) -> tuple[int, int]:
+        """Signed-delta application; global distinct-key accounting (see
+        :meth:`HashIndex.apply`)."""
+        keys = {self.key_of(row) for row, _ in delta.items()}
+        for row, count in delta.items():
+            self.add(row, count)
+        return len(keys), len(keys)
+
+    def keys_touched(self, rows: Iterable[Row]) -> int:
+        return len({self.key_of(r) for r in rows})
+
+    def distinct_keys(self) -> int:
+        seen: set[tuple[Any, ...]] = set()
+        for local in self._locals:
+            seen.update(local._buckets.keys())
+        return len(seen)
+
+    def rebuild(self, data: Multiset) -> None:
+        for local in self._locals:
+            local.rebuild(Multiset())
+        for row, count in data.items():
+            self.add(row, count)
+
+    def shard_index(self, sid: int) -> HashIndex:
+        """The shard-local index (tests / diagnostics)."""
+        return self._locals[sid]
+
+
+class ShardedRelation(StoredRelation):
+    """A stored relation whose rows, indexes, and version counters are
+    additionally partitioned by a :class:`Partitioner`.
+
+    The global multiset / key maps / version of the base class are kept
+    authoritative so every unsharded code path (scans, candidate-key
+    enforcement, delta charging, columnar conversion) behaves bit-
+    identically; shards hold the routed copies that maintenance probes
+    and the parallel runtime consume.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        counter: IOCounter | None = None,
+        partitioner: Partitioner | None = None,
+    ) -> None:
+        if partitioner is None:
+            raise ValueError("ShardedRelation requires a partitioner")
+        super().__init__(name, schema, counter)
+        self.partitioner = partitioner
+        self.partition_columns = tuple(
+            schema.resolve(c) for c in partitioner.columns
+        )
+        self._partition_getter = tuple_getter(
+            tuple(schema.index_of(c) for c in self.partition_columns)
+        )
+        self.shards = [_Shard(i) for i in range(partitioner.n_shards)]
+
+    @property
+    def n_shards(self) -> int:
+        return self.partitioner.n_shards
+
+    def shard_of_row(self, row: Row) -> int:
+        return self.partitioner.shard_of(self._partition_getter(row))
+
+    def shard_row_counts(self) -> list[int]:
+        return [shard.data.total() for shard in self.shards]
+
+    def shard_probe_counts(self) -> list[int]:
+        return [shard.probes for shard in self.shards]
+
+    # -- overridden storage hooks ---------------------------------------------------
+
+    def create_index(self, columns: Iterable[str]) -> ShardedIndex:
+        cols = tuple(self.schema.resolve(c) for c in columns)
+        if cols in self._indexes:
+            return self._indexes[cols]  # type: ignore[return-value]
+        index = ShardedIndex(self, cols)
+        index.rebuild(self._data)
+        self._indexes[cols] = index  # type: ignore[assignment]
+        if self._journal is not None:
+            self._journal.on_index(self.name, cols)
+        return index
+
+    def _apply_row(
+        self, row: Row, count: int, applied: list[tuple[Row, int]] | None = None
+    ) -> None:
+        # The base class validates keys, then mutates data / key maps /
+        # indexes (ShardedIndex.add routes to the owning shard's local
+        # index) — only after it succeeds do we mirror the row into its
+        # shard's multiset and bump the shard's version.
+        super()._apply_row(row, count, applied)
+        shard = self.shards[self.shard_of_row(row)]
+        counts = shard.data._counts
+        new = counts.get(row, 0) + count
+        if new == 0:
+            counts.pop(row, None)
+        else:
+            counts[row] = new
+        shard.version += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedRelation {self.name}: {self.row_count} rows, "
+            f"{len(self._indexes)} indexes, {self.partitioner.describe()}>"
+        )
+
+
+def split_delta_by_shard(
+    relation: ShardedRelation, delta: Delta
+) -> list[Delta] | None:
+    """Route one relation's staged delta to its shards.
+
+    Returns one (possibly empty) :class:`Delta` per shard, or ``None``
+    when splitting would change observable behaviour, i.e. when
+
+    * a modification pair moves a row across shards (the pair would lose
+      its modify identity — and its cheaper modify charging — if split), or
+    * a delete and an insert share the relation's smallest candidate key
+      but live on different shards: downstream ``repair_modifications``
+      pairs exactly such rows into a modification, and a per-shard run
+      could not see both halves.
+
+    The maintainer treats ``None`` as "take the broadcast track".
+    """
+    n = relation.partitioner.n_shards
+    shard_of = relation.shard_of_row
+    parts = [Delta() for _ in range(n)]
+    for old, new in delta.modifies:
+        sid = shard_of(old)
+        if sid != shard_of(new):
+            return None
+        parts[sid].modifies.append((old, new))
+    for row, count in delta.inserts.items():
+        parts[shard_of(row)].inserts.add(row, count)
+    for row, count in delta.deletes.items():
+        parts[shard_of(row)].deletes.add(row, count)
+    schema = relation.schema
+    if schema.keys and delta.inserts and delta.deletes:
+        key = min(schema.keys, key=lambda k: (len(k), sorted(k)))
+        getter = tuple_getter([schema.index_of(a) for a in sorted(key)])
+        owner: dict[tuple[Any, ...], int] = {}
+        for row in delta.deletes.rows():
+            owner[getter(row)] = shard_of(row)
+        for row in delta.inserts.rows():
+            sid = owner.get(getter(row))
+            if sid is not None and sid != shard_of(row):
+                return None
+    return parts

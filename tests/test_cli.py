@@ -135,3 +135,36 @@ class TestPlanSaving:
             == 0
         )
         assert plan_file.exists()
+
+
+class TestRunStream:
+    def test_unknown_policy_fails_fast(self):
+        from repro.cli import POLICIES, run_stream
+
+        with pytest.raises(ValueError) as exc:
+            run_stream(policy="bogus", n_txns=1)
+        message = str(exc.value)
+        # Mirrors set_default_backend's error style: name the bad value
+        # and list every valid one.
+        assert "'bogus'" in message
+        for name in POLICIES:
+            assert name in message
+
+    def test_unknown_policy_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--policy", "bogus"])
+        assert exc.value.code == 2
+        assert "--policy" in capsys.readouterr().err
+
+    def test_sharded_run_reports_and_matches(self):
+        from repro.cli import run_stream
+
+        plain = run_stream(policy="enforce", n_txns=12, n_depts=6, seed=3)
+        sharded = run_stream(
+            policy="enforce", n_txns=12, n_depts=6, seed=3, shards=4
+        )
+        assert "shards: 4 (sequential)" in sharded
+        strip = lambda text: [
+            line for line in text.splitlines() if not line.startswith("shards:")
+        ]
+        assert strip(sharded) == strip(plain)

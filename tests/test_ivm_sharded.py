@@ -1,0 +1,291 @@
+"""Sharded delta propagation: routing decisions, shard-locality, parity.
+
+The headline invariants from docs/architecture.md ("Sharding & parallel
+maintenance"):
+
+* a track whose update track is co-partitioned on the shard key
+  propagates without ever probing a remote shard (asserted with the
+  per-shard probe tallies);
+* sequential sharded execution is bit-identical to unsharded execution —
+  views, rejections, and per-event IOCounter snapshots;
+* the parallel worker pool merges per-shard I/O into the same totals.
+"""
+
+import random
+
+import pytest
+
+from repro.constraints.assertions import AssertionSystem, AssertionViolation
+from repro.ivm.delta import Delta
+from repro.obs.metrics import get_metrics
+from repro.storage.database import Database
+from repro.storage.partition import HashPartitioner
+from repro.workload.paperdb import DEPT_SCHEMA, EMP_SCHEMA
+from repro.workload.transactions import Transaction, paper_transactions
+
+DEPT_CONSTRAINT = """
+CREATE ASSERTION DeptConstraint CHECK (NOT EXISTS (
+    SELECT Dept.DName FROM Emp, Dept
+    WHERE Dept.DName = Emp.DName
+    GROUPBY Dept.DName, Budget
+    HAVING SUM(Salary) > Budget))
+"""
+
+DEPTS = tuple(f"dp{i}" for i in range(8))
+PARTITION_KEYS = {"Emp": ("DName",), "Dept": ("DName",)}
+
+
+def _build(shards=0, parallel=False, seed=5, durable_path=None):
+    rng = random.Random(seed)
+    # shards is always passed explicitly: 0 must mean unsharded even when
+    # the suite runs under REPRO_SHARDS=N (the CI sharded job).
+    kwargs = {"durable_path": durable_path, "shards": shards}
+    if shards:
+        kwargs["partition_keys"] = PARTITION_KEYS
+    db = Database(**kwargs)
+    depts = [(name, "m", rng.randint(400, 900)) for name in DEPTS]
+    emps = [
+        (f"e{i}", DEPTS[i % len(DEPTS)], rng.randint(5, 30)) for i in range(24)
+    ]
+    db.create_relation("Dept", DEPT_SCHEMA, depts, indexes=[["DName"]])
+    db.create_relation("Emp", EMP_SCHEMA, emps, indexes=[["DName"]])
+    system = AssertionSystem(
+        db,
+        [DEPT_CONSTRAINT],
+        paper_transactions(),
+        enforce=True,
+        parallel_shards=parallel,
+    )
+    return db, system
+
+
+def _budget_cut(db, dept, amount=25):
+    old = next(r for r in db.relation("Dept").contents().rows() if r[0] == dept)
+    new = (old[0], old[1], old[2] - amount)
+    return Transaction(">Dept", {"Dept": Delta.modification([(old, new)])})
+
+
+def _raise(db, emp_prefix="e0"):
+    old = next(
+        r for r in db.relation("Emp").contents().rows() if r[0] == emp_prefix
+    )
+    new = (old[0], old[1], old[2] + 1)
+    return Transaction(">Emp", {"Emp": Delta.modification([(old, new)])})
+
+
+def _execute(system, txn):
+    try:
+        return system.engine.execute(txn)
+    except AssertionViolation:
+        return None
+
+
+def _depts_on_distinct_shards(n_shards):
+    """Two department names owned by different shards."""
+    part = HashPartitioner(("DName",), n_shards)
+    by_shard = {}
+    for name in DEPTS:
+        by_shard.setdefault(part.shard_of((name,)), name)
+        if len(by_shard) >= 2:
+            break
+    (s1, d1), (s2, d2) = sorted(by_shard.items())[:2]
+    assert s1 != s2
+    return d1, d2
+
+
+class TestShardPlanRouting:
+    def test_budget_cut_takes_co_partitioned_track(self):
+        db, system = _build(shards=3)
+        _execute(system, _budget_cut(db, DEPTS[0]))
+        plan = system.maintainer.last_shard_plan
+        assert plan is not None
+        assert plan.mode == "co-partitioned"
+        assert plan.prefix and not plan.suffix
+        assert plan.gather_reason is None
+
+    def test_salary_raise_takes_broadcast_track(self):
+        db, system = _build(shards=3)
+        _execute(system, _raise(db))
+        plan = system.maintainer.last_shard_plan
+        assert plan is not None
+        assert plan.mode == "broadcast"
+        assert not plan.prefix
+        assert plan.gather_reason
+
+    def test_unsharded_database_has_no_plan(self):
+        db, system = _build(shards=0)
+        _execute(system, _budget_cut(db, DEPTS[0]))
+        assert system.maintainer.last_shard_plan is None
+
+    def test_single_shard_skips_sharded_path(self):
+        db, system = _build(shards=1)
+        _execute(system, _budget_cut(db, DEPTS[0]))
+        assert system.maintainer.last_shard_plan is None
+
+    def test_cross_shard_seed_falls_back_to_broadcast(self):
+        db, system = _build(shards=3)
+        d1, d2 = _depts_on_distinct_shards(3)
+        old = next(
+            r for r in db.relation("Dept").contents().rows() if r[0] == d1
+        )
+        # Rename the department across shards: the modify pair straddles
+        # shards, so the seed delta cannot split.
+        new = (d2 + "x", old[1], old[2])
+        part = HashPartitioner(("DName",), 3)
+        if part.shard_of((old[0],)) == part.shard_of((new[0],)):
+            pytest.skip("renamed department landed on the same shard")
+        # Ad-hoc type name: the maintainer derives the modified columns
+        # (DName) from the delta instead of trusting >Dept's Budget spec.
+        txn = Transaction("DeptRename", {"Dept": Delta.modification([(old, new)])})
+        _execute(system, txn)
+        plan = system.maintainer.last_shard_plan
+        assert plan is not None
+        assert plan.mode == "broadcast"
+        assert plan.gather_reason == "seed delta crosses shards"
+
+    def test_routing_metrics_counted(self):
+        db, system = _build(shards=3)
+        m = get_metrics()
+        co = m.counter("shard.tracks_co_partitioned").value
+        bc = m.counter("shard.tracks_broadcast").value
+        _execute(system, _budget_cut(db, DEPTS[0]))
+        _execute(system, _raise(db))
+        assert m.counter("shard.tracks_co_partitioned").value == co + 1
+        assert m.counter("shard.tracks_broadcast").value == bc + 1
+        assert m.gauge("shard.count").value == 3
+
+
+class TestShardLocality:
+    def test_co_partitioned_track_never_probes_remote_shards(self):
+        db, system = _build(shards=4)
+        dept = DEPTS[0]
+        owner = HashPartitioner(("DName",), 4).shard_of((dept,))
+        relations = [db.relation("Emp"), db.relation("Dept")] + [
+            rel for rel in db if rel.name.startswith("_view_")
+        ]
+        before = {rel.name: list(rel.shard_probe_counts()) for rel in relations}
+        _execute(system, _budget_cut(db, dept))
+        plan = system.maintainer.last_shard_plan
+        assert plan is not None and plan.mode == "co-partitioned"
+        probed_remote = False
+        probed_local = 0
+        for rel in relations:
+            after = rel.shard_probe_counts()
+            for sid, (a, b) in enumerate(zip(before[rel.name], after)):
+                if sid == owner:
+                    probed_local += b - a
+                elif b != a:
+                    probed_remote = True
+        assert not probed_remote
+        assert probed_local > 0  # the track did probe — just never remotely
+
+
+def _stream(db, system, seed=9):
+    """A deterministic mixed stream; returns (outcomes, per-event IO)."""
+    rng = random.Random(seed)
+    outcomes, ios = [], []
+    for step in range(24):
+        roll = rng.random()
+        if roll < 0.4:
+            txn = _budget_cut(db, rng.choice(DEPTS), amount=rng.randint(5, 60))
+        elif roll < 0.7:
+            emps = sorted(db.relation("Emp").contents().rows())
+            old = emps[rng.randrange(len(emps))]
+            new = (old[0], old[1], old[2] + rng.randint(1, 30))
+            txn = Transaction(">Emp", {"Emp": Delta.modification([(old, new)])})
+        else:
+            row = (f"h{step}", rng.choice(DEPTS), rng.randint(1, 20))
+            txn = Transaction("Hire", {"Emp": Delta.insertion([row])})
+        before = db.counter.snapshot()
+        result = _execute(system, txn)
+        ios.append(db.counter.snapshot() - before)
+        outcomes.append("rejected" if result is None else "ok")
+    system.maintainer.verify()
+    state = {name: db.relation(name).contents() for name in ("Emp", "Dept")}
+    for gid in sorted(system.maintainer.marking):
+        if not system.maintainer.memo.group(gid).is_leaf:
+            state[f"view:{gid}"] = system.maintainer.view_contents(gid)
+    return outcomes, ios, state
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_sequential_sharded_equals_unsharded(self, shards):
+        db_u, system_u = _build(shards=0)
+        db_s, system_s = _build(shards=shards)
+        out_u = _stream(db_u, system_u)
+        out_s = _stream(db_s, system_s)
+        assert out_s[0] == out_u[0]  # outcomes
+        assert out_s[1] == out_u[1]  # per-event IOCounter snapshots
+        assert out_s[2] == out_u[2]  # base relations and views
+
+    def test_parallel_equals_sequential(self):
+        db_u, system_u = _build(shards=0)
+        db_p, system_p = _build(shards=3, parallel=True)
+        out_u = _stream(db_u, system_u)
+        out_p = _stream(db_p, system_p)
+        assert out_p[0] == out_u[0]
+        assert out_p[1] == out_u[1]
+        assert out_p[2] == out_u[2]
+
+    def test_parallel_pool_actually_runs(self):
+        db, system = _build(shards=3, parallel=True)
+        d1, d2 = _depts_on_distinct_shards(3)
+        m = get_metrics()
+        before = m.counter("shard.parallel_commits").value
+        rows = {r[0]: r for r in db.relation("Dept").contents().rows()}
+        pairs = [
+            (rows[d], (rows[d][0], rows[d][1], rows[d][2] - 10))
+            for d in (d1, d2)
+        ]
+        txn = Transaction(">Dept", {"Dept": Delta.modification(pairs)})
+        _execute(system, txn)
+        plan = system.maintainer.last_shard_plan
+        assert plan is not None and plan.mode == "co-partitioned"
+        assert m.counter("shard.parallel_commits").value == before + 1
+        system.maintainer.verify()
+
+    def test_parallel_suppressed_under_durability(self, tmp_path):
+        db, system = _build(shards=3, parallel=True, durable_path=str(tmp_path))
+        d1, d2 = _depts_on_distinct_shards(3)
+        m = get_metrics()
+        before = m.counter("shard.parallel_commits").value
+        rows = {r[0]: r for r in db.relation("Dept").contents().rows()}
+        pairs = [
+            (rows[d], (rows[d][0], rows[d][1], rows[d][2] - 10))
+            for d in (d1, d2)
+        ]
+        _execute(system, Transaction(">Dept", {"Dept": Delta.modification(pairs)}))
+        # Sequential sharded execution still happens; the fork pool must not.
+        assert m.counter("shard.parallel_commits").value == before
+        system.maintainer.verify()
+        db.close()
+
+
+class TestShardCosts:
+    def test_co_partitioned_track_costs_divide(self):
+        db, system = _build(shards=4)
+        maintainer = system.maintainer
+        track = maintainer.tracks[">Dept"]
+        txn = maintainer.txn_types[">Dept"]
+        dept_gid = maintainer.memo.leaf_group_id("Dept")
+        costs = maintainer.cost_model.shard_costs(
+            track, txn, maintainer.marking, {dept_gid: ("DName",)}, 4
+        )
+        assert costs.mode == "co-partitioned"
+        assert costs.parallel_io < costs.sequential_io
+        assert costs.speedup > 1.0
+
+    def test_misaligned_seed_is_broadcast(self):
+        db, system = _build(shards=4)
+        maintainer = system.maintainer
+        track = maintainer.tracks[">Emp"]
+        txn = maintainer.txn_types[">Emp"]
+        emp_gid = maintainer.memo.leaf_group_id("Emp")
+        costs = maintainer.cost_model.shard_costs(
+            track, txn, maintainer.marking, {emp_gid: ("EName",)}, 4
+        )
+        assert costs.mode == "broadcast"
+        assert costs.parallel_io == costs.sequential_io
+        assert costs.speedup == 1.0
+        assert costs.gather_reason
