@@ -1,0 +1,271 @@
+"""Experiment E14 — group commit: concurrent clients vs a sequential run.
+
+Eight clients drive the deferred-policy E1 corporate stream (disjoint
+department slices, the same generator the CLI's ``run --clients`` uses)
+through the single-writer :class:`~repro.server.commit.GroupCommitter`.
+The engine runs ``DeferredPolicy(batch_size=1)`` — the server
+configuration: every drained batch is composed with ``compose_deltas``
+and flushed immediately, so a commit is acknowledged only once its
+maintenance pass ran (a server answering snapshot reads cannot defer
+maintenance past its acks). Group commit's whole point is that the pass
+— and, when durable, the WAL barrier/fsync — is paid once per *batch*.
+
+The baseline is eight sequential single-client runs through the **same**
+client path (submit → wait on the same committer), where every batch
+degenerates to one rider: one maintenance pass and one fsync per
+transaction. Identical per-request overheads on both sides; the only
+difference is how many riders share each pass.
+
+Asserted, not just reported:
+
+* **observational serializability** — replaying the recorded batch
+  schedule through a fresh identical engine reproduces every base
+  relation, every materialized view, and the shared ``IOCounter`` ledger
+  bit-exactly, and the concurrent run's final state equals the
+  sequential baseline's (disjoint slices ⇒ one net state);
+* **throughput floors** (full mode only; ``REPRO_BENCH_SMOKE=1`` runs a
+  stream too small to time meaningfully) — concurrent txn/s ≥ 2× the
+  sequential baseline in memory, ≥ 1.5× with ``wal_sync="full"``
+  durability where every batch pays a real fsync.
+
+Client-observed commit latency (submit → resolve) is reported at
+p50/p95/p99 from each client's ``ClientReport.latencies``.
+
+The full run writes ``benchmarks/BENCH_server.json``.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import emit, format_table
+
+from repro.cli import _client_streams
+from repro.constraints.assertions import AssertionSystem
+from repro.engine import DeferredPolicy, Engine
+from repro.server.commit import replay_batches
+from repro.shell import DEPT_CONSTRAINT
+from repro.storage.database import Database
+from repro.workload.paperdb import DEPT_SCHEMA, EMP_SCHEMA, generate_corporate_db
+from repro.workload.runner import run_concurrent_transactions
+from repro.workload.transactions import paper_transactions
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+N_CLIENTS = 8
+N_DEPTS = 16 if SMOKE else 48
+EMPS_PER_DEPT = 5 if SMOKE else 10
+PER_CLIENT = 6 if SMOKE else 40
+N_TXNS = N_CLIENTS * PER_CLIENT
+MAX_BATCH = 32
+REPS = 1 if SMOKE else 3
+SEED = 23
+
+SPEEDUP_FLOOR = 2.0  # in-memory: concurrent ≥ 2× sequential txn/s
+DURABLE_SPEEDUP_FLOOR = 1.5  # wal_sync=full: one fsync per batch
+
+_RESULTS_FILE = Path(__file__).parent / "BENCH_server.json"
+
+COLUMN = {"Emp": "Salary", "Dept": "Budget"}
+
+
+def _build(durable_path=None, wal_sync=None):
+    db = Database(durable_path=durable_path, wal_sync=wal_sync)
+    if "Emp" not in db:
+        data = generate_corporate_db(
+            N_DEPTS, EMPS_PER_DEPT, seed=SEED, budget_range=(800, 1200)
+        )
+        db.create_relation("Dept", DEPT_SCHEMA, data["Dept"], indexes=[["DName"]])
+        db.create_relation("Emp", EMP_SCHEMA, data["Emp"], indexes=[["DName"]])
+    system = AssertionSystem(db, [DEPT_CONSTRAINT], paper_transactions())
+    # batch_size=1: flush (one maintenance pass) per committed batch — the
+    # server configuration, where acks imply maintained views.
+    engine = Engine(
+        system.maintainer,
+        policy=DeferredPolicy(batch_size=1),
+        assertion_roots=system.roots,
+    )
+    return db, engine
+
+
+def _state(engine):
+    maintainer = engine.maintainer
+    state = {
+        name: engine.db.relation(name).contents() for name in ("Emp", "Dept")
+    }
+    for gid in sorted(maintainer.marking):
+        if not maintainer.memo.group(gid).is_leaf:
+            state[f"view:{gid}"] = maintainer.view_contents(gid)
+    return state
+
+
+def _percentile(values, q):
+    ranked = sorted(values)
+    return ranked[min(len(ranked) - 1, round(q * (len(ranked) - 1)))]
+
+
+def _run_sequential(durable_path=None, wal_sync=None):
+    """The baseline: the same 8 client streams, one client at a time
+    through the same committer path — every batch has exactly one rider,
+    so every transaction pays its own maintenance pass (and fsync)."""
+    db, engine = _build(durable_path, wal_sync)
+    streams = _client_streams(db, N_TXNS, N_CLIENTS, SEED, COLUMN)
+    started = time.perf_counter()
+    committed = 0
+    latencies = []
+    for stream in streams:
+        report, _ = run_concurrent_transactions(
+            engine, [stream], max_batch=MAX_BATCH
+        )
+        committed += report.committed
+        latencies.extend(report.clients[0].latencies)
+    elapsed = time.perf_counter() - started
+    assert committed == N_TXNS
+    return db, engine, elapsed, latencies
+
+
+def _run_concurrent(durable_path=None, wal_sync=None):
+    db, engine = _build(durable_path, wal_sync)
+    streams = _client_streams(db, N_TXNS, N_CLIENTS, SEED, COLUMN)
+    started = time.perf_counter()
+    report, batches = run_concurrent_transactions(
+        engine, streams, max_batch=MAX_BATCH
+    )
+    elapsed = time.perf_counter() - started
+    assert report.committed == N_TXNS and not report.rejected
+    latencies = [lat for c in report.clients for lat in c.latencies]
+    return db, engine, elapsed, report, batches, latencies
+
+
+def _latency_ms(latencies):
+    return {
+        "p50": _percentile(latencies, 0.50) * 1e3,
+        "p95": _percentile(latencies, 0.95) * 1e3,
+        "p99": _percentile(latencies, 0.99) * 1e3,
+    }
+
+
+def _measure(wal_sync=None, durable=False):
+    """Best-of-REPS sequential vs concurrent on identical worlds; returns
+    the phase report plus the last concurrent run's artifacts for the
+    serial-schedule check."""
+    seq_s = conc_s = float("inf")
+    seq_lats = artifacts = None
+    for _ in range(REPS):
+        seq_dir = tempfile.mkdtemp(prefix="bench-gc-") if durable else None
+        conc_dir = tempfile.mkdtemp(prefix="bench-gc-") if durable else None
+        try:
+            db_s, engine_s, elapsed_s, lats_s = _run_sequential(
+                seq_dir, wal_sync
+            )
+            db_c, engine_c, elapsed_c, report, batches, lats_c = (
+                _run_concurrent(conc_dir, wal_sync)
+            )
+            if elapsed_s < seq_s:
+                seq_s, seq_lats = elapsed_s, lats_s
+            conc_s = min(conc_s, elapsed_c)
+            assert _state(engine_c) == _state(engine_s), (
+                "concurrent final state diverged from the sequential baseline"
+            )
+            artifacts = (engine_c, report, batches, lats_c)
+            if durable:
+                db_s.close()
+                db_c.close()
+        finally:
+            for path in (seq_dir, conc_dir):
+                if path:
+                    shutil.rmtree(path, ignore_errors=True)
+    engine_c, report, batches, lats_c = artifacts
+    return {
+        "sequential_s": seq_s,
+        "concurrent_s": conc_s,
+        "sequential_txn_s": N_TXNS / seq_s,
+        "concurrent_txn_s": N_TXNS / conc_s,
+        "speedup": seq_s / conc_s,
+        "batches": report.batches,
+        "mean_batch_size": N_TXNS / report.batches if report.batches else 0.0,
+        "sequential_latency_ms": _latency_ms(seq_lats),
+        "latency_ms": _latency_ms(lats_c),
+    }, artifacts
+
+
+def _check_serial_schedule(engine_c, batches):
+    """Replaying the recorded batch schedule on one thread reproduces the
+    concurrent run bit-exactly — state, views, and the I/O ledger."""
+    _, oracle = _build()
+    records, tail = replay_batches(oracle, batches)
+    assert tail is None or tail.committed
+    assert _state(oracle) == _state(engine_c)
+    assert oracle.db.counter.snapshot() == engine_c.db.counter.snapshot()
+    return len(records)
+
+
+def run_all():
+    memory, (engine_c, _, batches, _) = _measure()
+    replayed = _check_serial_schedule(engine_c, batches)
+    durable, _ = _measure(wal_sync="full", durable=True)
+    return {
+        "config": {
+            "smoke": SMOKE,
+            "clients": N_CLIENTS,
+            "txns": N_TXNS,
+            "max_batch": MAX_BATCH,
+            "n_depts": N_DEPTS,
+        },
+        "serial_replay_batches": replayed,
+        "in_memory": memory,
+        "durable_full": durable,
+        "floors": {
+            "in_memory": SPEEDUP_FLOOR,
+            "durable_full": DURABLE_SPEEDUP_FLOOR,
+        },
+    }
+
+
+def test_group_commit_bench(benchmark):
+    report = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for label, phase in (
+        ("in-memory", report["in_memory"]),
+        ("durable (full)", report["durable_full"]),
+    ):
+        rows.append(
+            [
+                label,
+                f"{phase['sequential_txn_s']:.0f}",
+                f"{phase['concurrent_txn_s']:.0f}",
+                f"{phase['speedup']:.2f}x",
+                f"{phase['batches']} ({phase['mean_batch_size']:.1f})",
+                f"{phase['latency_ms']['p50']:.2f}",
+                f"{phase['latency_ms']['p95']:.2f}",
+                f"{phase['latency_ms']['p99']:.2f}",
+            ]
+        )
+    emit(format_table(
+        f"E14 — group commit, {N_CLIENTS} clients × {PER_CLIENT} txns, "
+        f"one maintenance pass per batch{', smoke' if SMOKE else ''}",
+        [
+            "path", "seq txn/s", "conc txn/s", "speedup",
+            "batches (mean)", "p50 ms", "p95 ms", "p99 ms",
+        ],
+        rows,
+    ))
+    assert report["serial_replay_batches"] > 0
+    if not SMOKE:
+        # The acceptance floors only bind on the full-size stream; the
+        # smoke stream is too small for the amortization to outrun
+        # thread scheduling noise.
+        memory = report["in_memory"]
+        assert memory["speedup"] >= SPEEDUP_FLOOR, (
+            f"group commit {memory['speedup']:.2f}x < {SPEEDUP_FLOOR}x "
+            "over the sequential baseline"
+        )
+        durable = report["durable_full"]
+        assert durable["speedup"] >= DURABLE_SPEEDUP_FLOOR, (
+            f"durable group commit {durable['speedup']:.2f}x < "
+            f"{DURABLE_SPEEDUP_FLOOR}x over the sequential baseline"
+        )
+        _RESULTS_FILE.write_text(json.dumps(report, indent=2) + "\n")

@@ -182,6 +182,8 @@ def run_stream(
     durable_path: str | None = None,
     shards: int | None = None,
     parallel: bool = False,
+    clients: int = 0,
+    max_batch: int = 32,
 ) -> str:
     """Commit a random paper-workload stream through the engine.
 
@@ -207,8 +209,20 @@ def run_stream(
     ``parallel`` (``run --parallel`` / ``REPRO_SHARD_PARALLEL``) runs
     co-partitioned prefixes in a worker pool. Either way the report's
     results and page-I/O accounting are bit-identical to an unsharded run.
+    Combining ``parallel`` with ``durable_path`` warns: durable journaling
+    is fork-unsafe, so the maintainer quietly falls back to sequential
+    shard execution (a ``parallel: suppressed (durable)`` report line
+    says so out loud).
+
+    ``clients`` ≥ 2 splits the stream across that many concurrent client
+    threads over a shared group committer
+    (:func:`~repro.workload.runner.run_concurrent_transactions`): each
+    client updates its own slice of the departments, batches of up to
+    ``max_batch`` riders are composed and maintained once per batch, and
+    the report counts the drained batches.
     """
     import random
+    import warnings
 
     from repro.constraints.assertions import AssertionSystem
     from repro.engine import DeferredPolicy, Engine
@@ -226,6 +240,17 @@ def run_stream(
     if policy not in POLICIES:
         raise ValueError(
             f"unknown maintenance policy {policy!r}; expected one of {POLICIES}"
+        )
+    if parallel and durable_path is not None:
+        # The maintainer forks shard workers, and durable journaling is
+        # fork-unsafe (two processes appending one WAL), so PR 8 made it
+        # silently fall back to sequential execution. Say so.
+        warnings.warn(
+            "--parallel is suppressed when --durable is set: durable "
+            "journaling is fork-unsafe, so shard maintenance runs "
+            "sequentially",
+            RuntimeWarning,
+            stacklevel=2,
         )
     db = Database(
         durable_path=durable_path,
@@ -294,7 +319,15 @@ def run_stream(
 
         tracer = Tracer()
         engine.set_tracer(tracer)
-    report = run_transactions(engine, stream())
+    if clients >= 2:
+        from repro.workload.runner import run_concurrent_transactions
+
+        streams = _client_streams(db, n_txns, clients, seed, column)
+        report, _ = run_concurrent_transactions(
+            engine, streams, max_batch=max_batch
+        )
+    else:
+        report = run_transactions(engine, stream())
     if tracer is not None:
         import json
 
@@ -311,13 +344,64 @@ def run_stream(
         lines.append(f"  {name}: {count} violating rows entered")
     for name, count in sorted(report.cleared_violations.items()):
         lines.append(f"  {name}: {count} violating rows cleared")
+    if clients >= 2:
+        lines.insert(
+            1,
+            f"clients: {clients} (max_batch {max_batch}, "
+            f"{report.batches} batches)",
+        )
     if db.shards:
         mode = "parallel" if system.maintainer.parallel_shards else "sequential"
         lines.append(f"shards: {db.shards} ({mode})")
+    if parallel and db.durable is not None:
+        lines.append("parallel: suppressed (durable)")
     if db.durable is not None:
         lines.append(f"durable: {db.durable.stats.describe()}")
         db.close()
     return "\n".join(lines)
+
+
+def _client_streams(db, n_txns: int, clients: int, seed: int, column: dict):
+    """Pre-built per-client transaction lists over disjoint department
+    slices (client ``i`` owns departments ``i mod clients``), so
+    concurrent clients never touch the same rows and every group-commit
+    interleaving composes to the same net state. Rows are tracked
+    logically per client — commits may still be riding the queue when the
+    next transaction is generated, so live contents can't be read."""
+    import random
+
+    from repro.ivm.delta import Delta
+    from repro.workload.transactions import Transaction
+
+    dept_rows = sorted(db.relation("Dept").contents().rows())
+    emp_rows = sorted(db.relation("Emp").contents().rows())
+    emp_dname = db.relation("Emp").schema.index_of("DName")
+    streams = []
+    for i in range(clients):
+        my_depts = [d for j, d in enumerate(dept_rows) if j % clients == i]
+        names = {d[0] for d in my_depts}
+        logical = {
+            "Dept": my_depts,
+            "Emp": [e for e in emp_rows if e[emp_dname] in names],
+        }
+        count = n_txns // clients + (1 if i < n_txns % clients else 0)
+        rng = random.Random(seed * 7919 + i)
+        txns = []
+        for _ in range(count):
+            rel = "Emp" if rng.random() < 0.5 else "Dept"
+            rows = logical[rel]
+            if not rows:
+                rel = "Dept" if rel == "Emp" else "Emp"
+                rows = logical[rel]
+            k = rng.randrange(len(rows))
+            old = rows[k]
+            idx = db.relation(rel).schema.index_of(column[rel])
+            change = rng.randint(-10, 10) or 1
+            new = old[:idx] + (old[idx] + change,) + old[idx + 1 :]
+            rows[k] = new
+            txns.append(Transaction(f">{rel}", {rel: Delta.modification([(old, new)])}))
+        streams.append(txns)
+    return streams
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -331,6 +415,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             durable_path=args.durable,
             shards=args.shards,
             parallel=args.parallel,
+            clients=args.clients,
+            max_batch=args.max_batch,
         )
     )
     if args.trace:
@@ -388,6 +474,21 @@ def _cmd_shell(args: argparse.Namespace) -> int:  # pragma: no cover - interacti
     return run_repl(durable_path=args.durable)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.server import run_server
+
+    return run_server(
+        host=args.host,
+        port=args.port,
+        policy=args.policy,
+        batch_size=args.batch_size,
+        durable_path=args.durable,
+        wal_sync=args.wal_sync,
+        max_batch=args.max_batch,
+        seed=args.seed,
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -438,6 +539,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--parallel", action="store_true",
         help="run co-partitioned track prefixes in a shard worker pool",
     )
+    run.add_argument(
+        "--clients", type=int, default=0, metavar="N",
+        help="drive the stream from N concurrent clients over a group committer",
+    )
+    run.add_argument(
+        "--max-batch", type=int, default=32,
+        help="group-commit batch cap for --clients",
+    )
     run.set_defaults(func=_cmd_run)
     shell = sub.add_parser(
         "shell", help="interactive SQL shell over a maintained database"
@@ -447,6 +556,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="durable session: WAL-protected pages at DIR, \\checkpoint enabled",
     )
     shell.set_defaults(func=_cmd_shell)
+    serve = sub.add_parser(
+        "serve", help="socket server: many clients, one group-committed engine"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=4957,
+        help="TCP port (0 binds an ephemeral port, printed on startup)",
+    )
+    serve.add_argument(
+        "--policy", choices=list(POLICIES), default="immediate",
+        help="maintenance policy for the shared engine",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=None,
+        help="flush threshold for --policy deferred",
+    )
+    serve.add_argument(
+        "--durable", metavar="DIR", default=None,
+        help="WAL-protected page storage at DIR (one fsync per group batch)",
+    )
+    serve.add_argument(
+        "--wal-sync", choices=("normal", "full"), default=None,
+        help="WAL sync mode for --durable",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32, help="group-commit batch cap"
+    )
+    serve.add_argument("--seed", type=int, default=0, help="corporate data seed")
+    serve.set_defaults(func=_cmd_serve)
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -60,6 +60,11 @@ class TransactionResult:
     io: IOStats = field(default_factory=IOStats)
     new_violations: dict[str, Multiset] = field(default_factory=dict)
     cleared_violations: dict[str, Multiset] = field(default_factory=dict)
+    #: group-commit batch this transaction rode in (None outside the
+    #: server's GroupCommitter); a composed batch's maintenance I/O is
+    #: attributed to the batch, so per-client results in a batch carry an
+    #: empty ``io``.
+    batch: int | None = None
 
     @property
     def ok(self) -> bool:
@@ -193,6 +198,7 @@ class Engine:
         self.tracer: "Tracer | NullTracer" = NULL_TRACER
         self.set_tracer(tracer)
         self._txn_seq = 0
+        self._active_txn: EngineTransaction | None = None
         self.policy.bind(self)
 
     def set_tracer(self, tracer: "Tracer | NullTracer | None") -> None:
@@ -204,40 +210,91 @@ class Engine:
     # -- lifecycle ---------------------------------------------------------------
 
     def begin(self, name: str | None = None) -> EngineTransaction:
-        """Open a transaction (usable as a context manager)."""
+        """Open a transaction (usable as a context manager).
+
+        One at a time: beginning a second transaction while the previous
+        one is still ``active`` raises :class:`EngineError` — two open
+        transactions on one engine would interleave their journal entries
+        in the :class:`~repro.storage.undo.UndoLog`, which is exactly the
+        corruption a second concurrent client used to be able to trigger.
+        Concurrent clients go through the server's single-writer commit
+        queue instead (``repro.server``).
+        """
+        active = self._active_txn
+        if active is not None and active.state == "active":
+            raise EngineError(
+                f"transaction {active.name!r} is still active; commit or "
+                "roll it back before begin() — two open transactions would "
+                "interleave their undo journals"
+            )
         self._txn_seq += 1
-        return EngineTransaction(self, name or f"__txn_{self._txn_seq}")
+        txn = EngineTransaction(self, name or f"__txn_{self._txn_seq}")
+        self._active_txn = txn
+        return txn
 
     def execute(self, txn: Transaction) -> TransactionResult:
-        """Commit a ready-made :class:`Transaction` through the policy."""
+        """Commit a ready-made :class:`Transaction` through the policy.
+
+        Serialized on the database's write latch: the single-writer server
+        thread and any single-session caller mutate storage one commit at
+        a time (the latch is reentrant, so a deferred flush nested inside
+        a commit still works)."""
         if not any(not d.is_empty for d in txn.deltas.values()):
             return TransactionResult(txn=txn, committed=True)
-        try:
-            result = self.policy.commit(self, txn)
-        except Exception as exc:
-            self.metrics.counter("engine.rollbacks").inc()
-            from repro.constraints.assertions import AssertionViolation
+        with self.db.latch:
+            try:
+                result = self.policy.commit(self, txn)
+            except Exception as exc:
+                self.metrics.counter("engine.rollbacks").inc()
+                from repro.constraints.assertions import AssertionViolation
 
-            if isinstance(exc, AssertionViolation):
-                self.metrics.counter("engine.rejected").inc()
-            raise
+                if isinstance(exc, AssertionViolation):
+                    self.metrics.counter("engine.rejected").inc()
+                raise
         self._observe(result)
         return result
 
     def flush(self) -> TransactionResult | None:
         """Flush policy-deferred work (no-op for immediate policies)."""
-        try:
-            result = self.policy.flush(self)
-        except Exception as exc:
-            self.metrics.counter("engine.rollbacks").inc()
-            from repro.constraints.assertions import AssertionViolation
+        with self.db.latch:
+            try:
+                result = self.policy.flush(self)
+            except Exception as exc:
+                self.metrics.counter("engine.rollbacks").inc()
+                from repro.constraints.assertions import AssertionViolation
 
-            if isinstance(exc, AssertionViolation):
-                self.metrics.counter("engine.rejected").inc()
-            raise
+                if isinstance(exc, AssertionViolation):
+                    self.metrics.counter("engine.rejected").inc()
+                raise
         if result is not None:
             self._observe(result)
         return result
+
+    # -- epochs (snapshot reads) ---------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The database's commit epoch (advances once per applied commit)."""
+        return self.db.epoch_log.epoch
+
+    def pin_epoch(self) -> int:
+        """Pin the current epoch for snapshot reads (see :meth:`select`).
+
+        While any pin is outstanding, each commit's inverse deltas are
+        retained in the database's :class:`~repro.storage.undo.EpochLog`;
+        always pair with :meth:`unpin_epoch` so the history can be freed.
+        """
+        return self.db.epoch_log.pin()
+
+    def unpin_epoch(self, epoch: int) -> None:
+        """Release an epoch pin taken with :meth:`pin_epoch`."""
+        self.db.epoch_log.unpin(epoch)
+
+    def note_commit(self, undo: UndoLog) -> None:
+        """Policy hook: one commit reached its success point. Advances the
+        shared epoch and retains the commit's inverse deltas while any
+        reader holds an epoch pin."""
+        self.db.epoch_log.note_commit(undo)
 
     def _observe(self, result: TransactionResult) -> None:
         """Fold one policy result into the metrics registry (no page I/O)."""
@@ -300,7 +357,9 @@ class Engine:
 
     # -- reads -------------------------------------------------------------------
 
-    def select(self, expr: RelExpr) -> tuple[Multiset, IOStats]:
+    def select(
+        self, expr: RelExpr, epoch: int | None = None
+    ) -> tuple[Multiset, IOStats]:
         """Evaluate a query, charged as scans of the base relations it
         reads (hash joins and aggregation are memory-resident, as in the
         maintainer's scan accounting). Returns (rows, this query's I/O).
@@ -308,17 +367,65 @@ class Engine:
         Charged per *leaf occurrence*, not per distinct relation: a
         self-join (Emp ⋈ Emp) reads the relation once per operand under
         the Section 3.6 model, exactly as the analytic ``scan_cost``
-        prices each scan node."""
+        prices each scan node.
+
+        ``epoch`` (from :meth:`pin_epoch`) selects the snapshot-read path:
+        the query sees the database exactly as of that epoch, regardless
+        of commits applied since. The reader copies the scanned relations
+        under the storage latch (a brief copy, not held for evaluation),
+        replays the epoch log's inverse deltas newest-first down to the
+        pinned epoch with the I/O counter suspended — undoing to a
+        snapshot is bookkeeping, exactly like rollback — and evaluates
+        against the reconstructed contents. Scans are charged at the
+        *snapshot's* row counts, to a private counter: a snapshot reader
+        never touches the shared ledger, so it cannot race the writer."""
+        if epoch is not None:
+            return self._select_at(expr, epoch)
         counter = self.db.counter
         with self.tracer.span("select", expr=type(expr).__name__):
+            with self.db.latch:
+                with counter.scoped() as scope:
+                    for node in expr.walk():
+                        if isinstance(node, Scan):
+                            counter.charge_tuple_read(
+                                self.db.relation(node.name).row_count
+                            )
+                    with counter.suspended():
+                        result = evaluate(expr, self.db)
+        self.metrics.counter("engine.selects").inc()
+        self.metrics.observe_io(scope.stats)
+        return result, scope.stats
+
+    def _select_at(self, expr: RelExpr, epoch: int) -> tuple[Multiset, IOStats]:
+        """Snapshot read: reconstruct the scanned relations as of ``epoch``
+        from the live contents plus the epoch log's inverse deltas."""
+        from repro.storage.pager import IOCounter
+
+        names = {node.name for node in expr.walk() if isinstance(node, Scan)}
+        with self.tracer.span("select", expr=type(expr).__name__, epoch=epoch):
+            with self.db.latch:
+                snapshot = {
+                    name: self.db.relation(name).contents().copy()
+                    for name in names
+                }
+                replay = self.db.epoch_log.inverses_since(epoch)
+            counter = IOCounter()  # private: never races the shared ledger
+            with counter.suspended():
+                # Newest commit first, inverses within a commit newest
+                # first — the same order UndoLog.rollback applies them.
+                for _, entries in reversed(replay):
+                    for rel_name, inverse in reversed(entries):
+                        contents = snapshot.get(rel_name)
+                        if contents is not None:
+                            _apply_inverse(contents, inverse)
             with counter.scoped() as scope:
                 for node in expr.walk():
                     if isinstance(node, Scan):
-                        counter.charge_tuple_read(self.db.relation(node.name).row_count)
+                        counter.charge_tuple_read(snapshot[node.name].total())
                 with counter.suspended():
-                    result = evaluate(expr, self.db)
+                    result = evaluate(expr, snapshot)
         self.metrics.counter("engine.selects").inc()
-        self.metrics.observe_io(scope.stats)
+        self.metrics.counter("engine.snapshot_selects").inc()
         return result, scope.stats
 
     def io_snapshot(self) -> IOStats:
@@ -366,3 +473,14 @@ class Engine:
             f"<Engine policy={type(self.policy).__name__} "
             f"views={len(self.maintainer.marking)} pending={self.pending}>"
         )
+
+
+def _apply_inverse(contents: Multiset, inverse: Delta) -> None:
+    """Apply one journaled inverse delta onto a bare multiset copy —
+    the snapshot-read analogue of ``StoredRelation.apply_delta``, minus
+    indexes, constraints, and I/O charging."""
+    contents.update(inverse.inserts, 1)
+    contents.update(inverse.deletes, -1)
+    for old, new in inverse.modifies:
+        contents.add(old, -1)
+        contents.add(new, 1)

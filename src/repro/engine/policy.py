@@ -77,6 +77,10 @@ def _commit_through_maintainer(
         except Exception:
             _rollback(engine, undo, reason="commit-error")
             raise
+        # Past the point of no return: advance the snapshot epoch (and
+        # retain the undo journal's inverses for any pinned readers)
+        # before the journal is discarded.
+        engine.note_commit(undo)
         span.annotate(outcome="committed")
     return TransactionResult(
         txn=txn,
@@ -170,6 +174,7 @@ class EnforcingPolicy(MaintenancePolicy):
                 # applied deltas with the undo log dropped.
                 _rollback(engine, undo, reason="commit-error")
                 raise
+            engine.note_commit(undo)
             span.annotate(outcome="committed")
         return TransactionResult(
             txn=txn,

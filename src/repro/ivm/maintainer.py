@@ -22,6 +22,7 @@ materialized view against from-scratch re-evaluation.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.algebra.compile import (
@@ -150,6 +151,11 @@ class ViewMaintainer:
             AdhocPlanCache(capacity) if capacity and capacity > 0 else None
         )
         self._adhoc_seq = 0
+        # Concurrent sessions must not race to the same __adhoc_N name:
+        # a shared name would alias two different transactions' deltas in
+        # DagEstimator._deltas memos. The counter increment is atomic
+        # under this lock, so every caller draws a distinct N.
+        self._adhoc_lock = threading.Lock()
         # Sharded propagation (see repro.cost.sharding and docs/
         # architecture.md): when the database is sharded, each commit's
         # co-partitioned track prefix runs once per shard — optionally in a
@@ -567,8 +573,9 @@ class ViewMaintainer:
         reuses an address; a monotonic counter cannot.
         """
         while True:
-            self._adhoc_seq += 1
-            name = f"__adhoc_{self._adhoc_seq}"
+            with self._adhoc_lock:
+                self._adhoc_seq += 1
+                name = f"__adhoc_{self._adhoc_seq}"
             if name not in self.txn_types:
                 return name
 

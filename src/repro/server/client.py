@@ -1,0 +1,99 @@
+"""A small blocking client for the repro server.
+
+The protocol is line-delimited JSON (see :mod:`repro.server.protocol`),
+so the client is deliberately boring: one socket, one file handle, one
+request/response per call. Thread-safety is per-instance (each thread
+should open its own client), mirroring one-connection-per-session.
+
+Usage::
+
+    with ReproClient("127.0.0.1", 4957) as c:
+        c.execute("INSERT INTO Emp VALUES ('e1', 'Toy', 55)")
+        rows = c.query("SELECT DName FROM Dept")
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.server import protocol
+
+
+class ClientError(Exception):
+    """A request the server answered with ``ok: false``."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.message = message
+
+
+class ReproClient:
+    """One connection to a :class:`~repro.server.server.ReproServer`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float | None = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    # -- raw request/response ----------------------------------------------------
+
+    def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Send one request and read its response (raises nothing on
+        ``ok: false`` — callers that want exceptions use the helpers)."""
+        self._sock.sendall(protocol.encode(message))
+        line = self._file.readline(protocol.MAX_LINE)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return protocol.decode(line)
+
+    def _checked(self, message: dict[str, Any]) -> dict[str, Any]:
+        response = self.request(message)
+        if not response.get("ok"):
+            raise ClientError(
+                response.get("error", "internal"), response.get("message", "")
+            )
+        return response
+
+    # -- convenience helpers -----------------------------------------------------
+
+    def ping(self) -> int:
+        """Liveness check; returns the server's current commit epoch."""
+        return int(self._checked({"op": "ping"})["epoch"])
+
+    def query(self, sql: str) -> list[tuple]:
+        """Run a SELECT (snapshot read); returns sorted rows as tuples."""
+        response = self._checked({"op": "sql", "q": sql})
+        return [tuple(row) for row in response.get("rows", [])]
+
+    def execute(self, sql: str) -> dict[str, Any]:
+        """Run one DML statement; returns the full response payload
+        (``status``, ``batch``, ``violations``). Raises :class:`ClientError`
+        with ``kind="rejected"`` when the enforcing policy rolls it back."""
+        return self._checked({"op": "sql", "q": sql})
+
+    def transaction(self, statements: list[str]) -> dict[str, Any]:
+        """Commit several DML statements as one atomic transaction."""
+        return self._checked({"op": "txn", "statements": statements})
+
+    def metrics(self) -> dict[str, Any]:
+        """The server's metrics snapshot."""
+        return self._checked({"op": "metrics"})["metrics"]
+
+    def close(self) -> None:
+        try:
+            self._sock.sendall(protocol.encode({"op": "quit"}))
+            self._file.readline(protocol.MAX_LINE)
+        except OSError:
+            pass
+        finally:
+            self._file.close()
+            self._sock.close()
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,312 @@
+"""Group commit: a single-writer thread draining a bounded commit queue.
+
+Clients (server connections, the multi-client workload driver, tests)
+submit ready-made :class:`~repro.workload.transactions.Transaction`
+objects and block on a per-request event. The committer thread drains the
+queue in batches, composes each batch's deltas into **one** transaction
+with :func:`~repro.ivm.deferred.compose_deltas`, and commits it through
+the engine's ordinary policy pipeline — one maintenance pass (and, when
+durable, one WAL barrier/fsync) no matter how many clients rode along.
+
+Failure isolation: a composed batch that raises (an
+:class:`~repro.constraints.assertions.AssertionViolation` under
+``EnforcingPolicy``, or any storage error) falls back to per-client
+replay, so only the offending client is rejected while innocent
+bystanders in the same batch still commit.
+
+Every batch is recorded as a :class:`BatchRecord`; :func:`replay_batches`
+re-commits the recorded batch sequence through a fresh engine on the
+caller's thread — the deterministic serial schedule the concurrent run is
+equivalent to, used by the property tests and the benchmark to check
+bit-identity.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.engine.engine import EngineError, TransactionResult
+from repro.ivm.deferred import compose_deltas
+from repro.ivm.delta import Delta
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.workload.transactions import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.engine.engine import Engine
+    from repro.storage.database import Database
+
+
+def compose_batch(
+    db: "Database", txns: Sequence[Transaction], name: str
+) -> Transaction | None:
+    """Compose many transactions' deltas into one net transaction.
+
+    Mirrors ``DeferredMaintainer.compose``: per relation (sorted, so the
+    apply order is hash-seed independent) the sequential deltas are
+    net-composed and delete+insert pairs sharing a candidate key re-paired
+    into modifications. Returns ``None`` when everything cancels — a
+    cancelling batch costs zero I/O and every rider commits trivially.
+    """
+    combined: dict[str, Delta] = {}
+    for relation in sorted({r for t in txns for r in t.deltas}):
+        schema = db.relation(relation).schema
+        composed = compose_deltas(
+            schema, (t.deltas.get(relation, Delta()) for t in txns)
+        )
+        if not composed.is_empty:
+            combined[relation] = composed
+    if not combined:
+        return None
+    return Transaction(name, combined)
+
+
+@dataclass
+class CommitRequest:
+    """One client's submitted transaction, awaiting its batch."""
+
+    txn: Transaction
+    submitted_at: float = field(default_factory=time.monotonic)
+    resolved_at: float | None = None
+    result: TransactionResult | None = None
+    error: BaseException | None = None
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def resolve(self, result: TransactionResult) -> None:
+        self.result = result
+        self.resolved_at = time.monotonic()
+        self._done.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.resolved_at = time.monotonic()
+        self._done.set()
+
+    def wait(self, timeout: float | None = None) -> TransactionResult:
+        """Block until the committer resolves this request; re-raises the
+        per-client error (e.g. an ``AssertionViolation``) on rejection."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"commit of {self.txn.type_name!r} did not resolve in {timeout}s"
+            )
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result
+
+    @property
+    def latency(self) -> float | None:
+        """Submit-to-resolve wall time in seconds (None while pending)."""
+        if self.resolved_at is None:
+            return None
+        return self.resolved_at - self.submitted_at
+
+
+@dataclass
+class BatchRecord:
+    """What one drained batch did — the serial-schedule witness.
+
+    ``txns`` preserves queue (arrival) order; replaying the records in
+    sequence through a fresh engine is *the* serial permutation the
+    concurrent run claims equivalence with.
+    """
+
+    seq: int
+    txns: tuple[Transaction, ...]
+    replayed: bool = False  # composed commit failed; fell back to per-client
+    empty: bool = False  # batch deltas cancelled to nothing
+    results: list[TransactionResult] = field(default_factory=list)
+    #: the composed commit's own result (None for empty or replayed
+    #: batches) — carries the batch's maintenance I/O exactly once, where
+    #: per-rider results carry none.
+    batch_result: TransactionResult | None = None
+
+    @property
+    def size(self) -> int:
+        return len(self.txns)
+
+    @property
+    def txn_names(self) -> tuple[str, ...]:
+        return tuple(t.type_name for t in self.txns)
+
+
+_SHUTDOWN = object()
+
+
+class GroupCommitter:
+    """The single-writer commit thread over a bounded queue.
+
+    Usage::
+
+        committer = GroupCommitter(engine, max_batch=32)
+        committer.start()
+        try:
+            request = committer.submit(txn)   # any thread
+            result = request.wait()
+        finally:
+            committer.close()                 # drains, then flushes policy
+
+    The queue is bounded (queue-based load leveling): when ``queue_size``
+    requests are in flight, ``submit`` blocks, back-pressuring producers
+    instead of growing memory without bound.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        max_batch: int = 32,
+        queue_size: int = 256,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise EngineError("max_batch must be positive")
+        self.engine = engine
+        self.max_batch = max_batch
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self._queue: queue.Queue = queue.Queue(maxsize=max(queue_size, 1))
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        self._batch_seq = 0
+        self.batches: list[BatchRecord] = []
+        self.tail_result: TransactionResult | None = None
+
+    # -- producer side -----------------------------------------------------------
+
+    def start(self) -> "GroupCommitter":
+        if self._thread is not None:
+            raise EngineError("committer already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-group-commit", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def submit(self, txn: Transaction, timeout: float | None = None) -> CommitRequest:
+        """Enqueue one transaction; returns its pending :class:`CommitRequest`.
+
+        Blocks when the queue is full (bounded back-pressure). Raises
+        :class:`EngineError` once the committer is closed.
+        """
+        if self._closed:
+            raise EngineError("committer is closed")
+        request = CommitRequest(txn)
+        self._queue.put(request, timeout=timeout)
+        self.metrics.counter("commit_queue.submitted").inc()
+        return request
+
+    def execute(self, txn: Transaction, timeout: float | None = None) -> TransactionResult:
+        """Submit and wait — the blocking convenience used by clients."""
+        return self.submit(txn, timeout=timeout).wait(timeout)
+
+    def close(self, flush: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting work, drain the queue, join the thread, then (by
+        default) flush the policy's deferred tail on the caller's thread;
+        the tail's result lands in ``tail_result``."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None:
+            self._queue.put(_SHUTDOWN)
+            self._thread.join(timeout)
+            self._thread = None
+        if flush:
+            self.tail_result = self.engine.flush()
+
+    # -- committer thread --------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            first = self._queue.get()
+            if first is _SHUTDOWN:
+                return
+            batch = [first]
+            while len(batch) < self.max_batch:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is _SHUTDOWN:
+                    self._commit_batch(batch)
+                    return
+                batch.append(item)
+            self.metrics.gauge("commit_queue.depth").set(self._queue.qsize())
+            self._commit_batch(batch)
+
+    def _commit_batch(self, requests: list[CommitRequest]) -> None:
+        """Compose, commit once, distribute per-client results; on failure
+        replay per client so only the violator is rejected."""
+        engine = self.engine
+        self._batch_seq += 1
+        seq = self._batch_seq
+        record = BatchRecord(seq=seq, txns=tuple(r.txn for r in requests))
+        self.batches.append(record)
+        self.metrics.counter("commit_queue.batches").inc()
+        self.metrics.histogram("commit_queue.batch_size").observe(len(requests))
+        with engine.tracer.span("group_commit", batch=seq, size=len(requests)):
+            composed = compose_batch(engine.db, record.txns, f"__group_{seq}")
+            if composed is None:
+                # The riders' deltas cancelled each other: nothing reaches
+                # storage, everyone committed (net effect of the batch is
+                # the empty transaction).
+                record.empty = True
+                for request in requests:
+                    result = TransactionResult(
+                        txn=request.txn, committed=True, batch=seq
+                    )
+                    record.results.append(result)
+                    request.resolve(result)
+                return
+            try:
+                batch_result = engine.execute(composed)
+            except Exception:
+                self._replay(record, requests)
+                return
+            for request in requests:
+                result = TransactionResult(
+                    txn=request.txn,
+                    committed=True,
+                    deferred=batch_result.deferred,
+                    batch=seq,
+                )
+                record.results.append(result)
+                request.resolve(result)
+            # The batch's maintenance I/O and violation report belong to
+            # the composed commit, not to any single rider; keep them on
+            # the record for the report/bench layer to fold exactly once.
+            record.batch_result = batch_result
+
+    def _replay(self, record: BatchRecord, requests: list[CommitRequest]) -> None:
+        """Per-client fallback: the composed commit failed (it already
+        rolled the database back), so commit each rider individually and
+        reject only the ones that fail on their own."""
+        record.replayed = True
+        self.metrics.counter("commit_queue.replays").inc()
+        for request in requests:
+            try:
+                result = self.engine.execute(request.txn)
+            except Exception as exc:  # AssertionViolation, storage errors
+                request.fail(exc)
+            else:
+                result.batch = record.seq
+                record.results.append(result)
+                request.resolve(result)
+
+
+def replay_batches(
+    engine: "Engine", batches: Iterable[BatchRecord]
+) -> tuple[list[BatchRecord], TransactionResult | None]:
+    """Re-commit a recorded batch sequence serially on the caller's thread.
+
+    Runs each recorded batch through an unstarted committer's
+    ``_commit_batch`` (same compose, same fallback), then flushes the
+    policy tail — the deterministic serial schedule a live concurrent run
+    must be bit-identical to. Returns (replayed records, tail result).
+    """
+    oracle = GroupCommitter(engine)
+    for record in batches:
+        oracle._commit_batch([CommitRequest(t) for t in record.txns])
+    tail = engine.flush()
+    return oracle.batches, tail

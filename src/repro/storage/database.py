@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 from repro.algebra.multiset import Multiset, Row
@@ -46,6 +47,15 @@ class Database:
     ) -> None:
         self.counter = IOCounter()
         self._relations: dict[str, StoredRelation] = {}
+        # Multi-session coordination: engines serialize storage mutation
+        # (and snapshot copies) on this reentrant latch, and the epoch log
+        # retains committed inverse deltas while readers hold epoch pins
+        # (see storage/undo.py EpochLog). Both are free for the classic
+        # single-session path: an uncontended RLock and an empty log.
+        self.latch = threading.RLock()
+        from repro.storage.undo import EpochLog
+
+        self.epoch_log = EpochLog()
         # Sharded storage mode (see storage/partition.py and docs/
         # architecture.md): 0 = classic unsharded relations; >= 1 = every
         # relation created here is a ShardedRelation, hash-partitioned on
@@ -172,6 +182,26 @@ class Database:
         """Release durable file handles (no-op for in-memory databases)."""
         if self.durable is not None:
             self.durable.close()
+
+    def __deepcopy__(self, memo: dict) -> "Database":
+        """Deep-copy the catalog; coordination primitives (the latch and
+        the epoch log, which hold OS locks) are created fresh — a copied
+        database is a new single-session world, not a live participant in
+        the original's commit ordering."""
+        import copy as _copy
+
+        from repro.storage.undo import EpochLog
+
+        clone = self.__class__.__new__(self.__class__)
+        memo[id(self)] = clone
+        for key, value in self.__dict__.items():
+            if key == "latch":
+                clone.latch = threading.RLock()
+            elif key == "epoch_log":
+                clone.epoch_log = EpochLog()
+            else:
+                setattr(clone, key, _copy.deepcopy(value, memo))
+        return clone
 
     def __contains__(self, name: str) -> bool:
         return name in self._relations

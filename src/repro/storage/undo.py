@@ -11,6 +11,7 @@ cost accounting.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -68,3 +69,84 @@ class UndoLog:
     def clear(self) -> None:
         """Drop the journal without undoing (after a successful commit)."""
         self._entries.clear()
+
+
+class EpochLog:
+    """Bounded history of committed inverse deltas, for snapshot reads.
+
+    Every successful commit advances the shared ``epoch``. A reader that
+    wants a stable view *pins* the current epoch; from then on each
+    commit's inverse deltas (the same journal :class:`UndoLog` builds for
+    rollback) are retained, so the reader can reconstruct the pinned
+    state from the live relations by replaying inverses newest-first down
+    to its epoch — no locks held against the writer while it reads.
+    Unpinning releases the history: with no pins outstanding nothing is
+    retained, so single-session engines pay nothing for this machinery.
+
+    Entries are keyed by relation *name* (deltas are logical), so a
+    snapshot replay never aliases live storage objects.
+    """
+
+    def __init__(self) -> None:
+        self.epoch = 0
+        self._entries: list[tuple[int, tuple[tuple[str, "Delta"], ...]]] = []
+        self._pins: dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    def pin(self) -> int:
+        """Pin the current epoch (refcounted); returns the pinned epoch."""
+        with self._lock:
+            epoch = self.epoch
+            self._pins[epoch] = self._pins.get(epoch, 0) + 1
+            return epoch
+
+    def unpin(self, epoch: int) -> None:
+        """Release one pin; history nobody can still read is dropped."""
+        with self._lock:
+            left = self._pins.get(epoch, 0) - 1
+            if left > 0:
+                self._pins[epoch] = left
+            else:
+                self._pins.pop(epoch, None)
+            self._trim_locked()
+
+    def _trim_locked(self) -> None:
+        if not self._pins:
+            self._entries.clear()
+            return
+        oldest = min(self._pins)
+        if self._entries and self._entries[0][0] <= oldest:
+            self._entries = [e for e in self._entries if e[0] > oldest]
+
+    def note_commit(self, undo: "UndoLog") -> int:
+        """Advance the epoch for one successful commit; retain its inverse
+        deltas only while at least one reader holds a pin. Called by the
+        engine's commit pipeline *before* the undo journal is discarded."""
+        with self._lock:
+            self.epoch += 1
+            if self._pins:
+                entries = tuple(
+                    (relation.name, inverse) for relation, inverse in undo.entries
+                )
+                if entries:
+                    self._entries.append((self.epoch, entries))
+            return self.epoch
+
+    def inverses_since(self, epoch: int) -> list[tuple[int, tuple[tuple[str, "Delta"], ...]]]:
+        """The retained (epoch, entries) pairs newer than ``epoch``, oldest
+        first — replay them *reversed* (newest first, entries reversed
+        within each commit) to walk current state back to ``epoch``."""
+        with self._lock:
+            return [e for e in self._entries if e[0] > epoch]
+
+    @property
+    def pinned(self) -> int:
+        """Number of outstanding pins (over all epochs)."""
+        with self._lock:
+            return sum(self._pins.values())
+
+    @property
+    def retained(self) -> int:
+        """Number of commits whose inverses are currently retained."""
+        with self._lock:
+            return len(self._entries)

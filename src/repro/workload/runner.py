@@ -12,13 +12,27 @@ and returns a :class:`StreamReport` of what happened.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.storage.pager import IOStats
 from repro.workload.transactions import Transaction
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.engine.engine import Engine, TransactionResult
+    from repro.server.commit import BatchRecord
+
+
+@dataclass
+class ClientReport:
+    """One concurrent client's share of a multi-client run."""
+
+    client: int
+    submitted: int = 0
+    committed: int = 0
+    rejected: int = 0
+    #: submit-to-resolve commit latencies, seconds, in submission order.
+    latencies: list[float] = field(default_factory=list)
+    results: list["TransactionResult"] = field(default_factory=list)
 
 
 @dataclass
@@ -34,8 +48,14 @@ class StreamReport:
     cleared_violations: dict[str, int] = field(default_factory=dict)
     results: list["TransactionResult"] = field(default_factory=list)
     # What the engine's MetricsRegistry accumulated over this run (counter
-    # deltas; see MetricsRegistry.since).
+    # deltas; see MetricsRegistry.since). Gauges derived from cumulative
+    # stores (the durable pager) are re-derived per run — see
+    # _per_run_durable_metrics — so back-to-back runs don't bleed.
     metrics: dict[str, float] = field(default_factory=dict)
+    #: group-commit batches drained (0 for single-client runs).
+    batches: int = 0
+    #: per-client breakdown of a concurrent run (empty otherwise).
+    clients: list[ClientReport] = field(default_factory=list)
 
     def __str__(self) -> str:
         pieces = [
@@ -46,6 +66,8 @@ class StreamReport:
         ]
         if self.deferred:
             pieces.insert(3, f"{self.deferred} still queued")
+        if self.batches:
+            pieces.append(f"{self.batches} group-commit batches")
         if self.new_violations:
             entered = sum(self.new_violations.values())
             pieces.append(f"{entered} violations entered")
@@ -77,6 +99,8 @@ def run_transactions(
 
     metrics = getattr(engine, "metrics", None)
     metrics_before = metrics.snapshot() if metrics is not None else None
+    durable = getattr(engine.db, "durable", None)
+    pager_before = durable.stats.snapshot() if durable is not None else None
     report = StreamReport()
     for txn in txns:
         report.submitted += 1
@@ -104,7 +128,138 @@ def run_transactions(
     report.committed = report.submitted - report.rejected - report.deferred
     if metrics is not None and metrics_before is not None:
         report.metrics = metrics.since(metrics_before)
+        if durable is not None and pager_before is not None:
+            _per_run_durable_metrics(report.metrics, durable.stats, pager_before)
     return report
+
+
+def _per_run_durable_metrics(
+    metrics: dict[str, float], stats, before: dict[str, int]
+) -> None:
+    """Overwrite durable gauges with this run's deltas.
+
+    The engine's ``_observe`` sets ``durable.*`` gauges from the store's
+    *cumulative* :class:`~repro.storage.pager.PagerStats`, and
+    ``MetricsRegistry.since`` passes gauges through by value — so a second
+    ``run_transactions`` over the same durable engine used to report the
+    first run's traffic (and a cumulative ``pool_hit_rate``) in its own
+    ``StreamReport.metrics``. Re-derive every durable gauge from the
+    per-run pager delta instead, consistently with how counters report.
+    """
+    delta = stats.since(before)
+    hits = delta.pop("pool_hits")
+    misses = delta.pop("pool_misses")
+    for key, value in delta.items():
+        if value or f"durable.{key}" in metrics:
+            metrics[f"durable.{key}"] = value
+    lookups = hits + misses
+    rate = hits / lookups if lookups else 0.0
+    metrics["durable.pool_hit_rate"] = rate
+    metrics["cache.buffer_pool.hits"] = hits
+    metrics["cache.buffer_pool.misses"] = misses
+    metrics["cache.buffer_pool.hit_rate"] = rate
+
+
+def run_concurrent_transactions(
+    engine: "Engine",
+    streams: "Sequence[Iterable[Transaction]]",
+    max_batch: int = 32,
+    queue_size: int = 256,
+    flush: bool = True,
+    keep_results: bool = False,
+) -> tuple[StreamReport, list["BatchRecord"]]:
+    """Drive one transaction stream per client through the group committer.
+
+    Each of the ``len(streams)`` clients runs on its own thread, submitting
+    its transactions in order to a shared single-writer
+    :class:`~repro.server.commit.GroupCommitter`; the committer drains the
+    queue in batches of up to ``max_batch``, composes each batch into one
+    transaction, and commits it through ``engine``'s policy — one
+    maintenance pass (and one WAL barrier, when durable) per batch.
+
+    Returns ``(report, batches)``: the report folds each composed batch's
+    I/O exactly once (per-rider results inside a batch carry none), and
+    the :class:`BatchRecord` list is the serial schedule the run is
+    equivalent to — replay it with
+    :func:`~repro.server.commit.replay_batches` to check bit-identity.
+    """
+    import threading
+
+    from repro.constraints.assertions import AssertionViolation
+    from repro.server.commit import GroupCommitter
+
+    metrics = getattr(engine, "metrics", None)
+    metrics_before = metrics.snapshot() if metrics is not None else None
+    durable = getattr(engine.db, "durable", None)
+    pager_before = durable.stats.snapshot() if durable is not None else None
+    committer = GroupCommitter(
+        engine, max_batch=max_batch, queue_size=queue_size, metrics=metrics
+    )
+    committer.start()
+    report = StreamReport()
+    clients = [ClientReport(client=i) for i in range(len(streams))]
+
+    def drive(client: ClientReport, stream: "Iterable[Transaction]") -> None:
+        for txn in stream:
+            client.submitted += 1
+            request = committer.submit(txn)
+            try:
+                result = request.wait()
+            except AssertionViolation:
+                client.rejected += 1
+                continue
+            client.committed += 1
+            if request.latency is not None:
+                client.latencies.append(request.latency)
+            if keep_results:
+                client.results.append(result)
+
+    threads = [
+        threading.Thread(
+            target=drive, args=(client, stream), name=f"repro-client-{client.client}"
+        )
+        for client, stream in zip(clients, streams)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    committer.close(flush=False)
+    # Riders whose batch was accepted under a deferred policy are queued,
+    # not applied; the tail flush below applies them (mirroring
+    # run_transactions' accounting).
+    deferred_riders = sum(
+        1
+        for record in committer.batches
+        for result in record.results
+        if result.deferred
+    )
+    report.clients = clients
+    report.batches = len(committer.batches)
+    report.submitted = sum(c.submitted for c in clients)
+    report.rejected = sum(c.rejected for c in clients)
+    for record in committer.batches:
+        if record.batch_result is not None:
+            _fold(report, record.batch_result, keep=False)
+        elif record.replayed:
+            for result in record.results:
+                _fold(report, result, keep=False)
+    if flush:
+        try:
+            flushed = engine.flush()
+        except AssertionViolation:
+            report.rejected += deferred_riders
+            deferred_riders = 0
+        else:
+            if flushed is not None:
+                _fold(report, flushed, keep_results)
+    report.deferred = deferred_riders if engine.pending else 0
+    report.committed = report.submitted - report.rejected - report.deferred
+    if metrics is not None and metrics_before is not None:
+        report.metrics = metrics.since(metrics_before)
+        if durable is not None and pager_before is not None:
+            _per_run_durable_metrics(report.metrics, durable.stats, pager_before)
+    return report, committer.batches
 
 
 def _fold(report: StreamReport, result: "TransactionResult", keep: bool) -> None:

@@ -168,3 +168,39 @@ class TestRunStream:
             line for line in text.splitlines() if not line.startswith("shards:")
         ]
         assert strip(sharded) == strip(plain)
+
+    def test_parallel_with_durable_warns_and_reports(self, tmp_path):
+        """Regression: --parallel under --durable silently fell back to
+        sequential shard maintenance (fork-unsafe WAL) while the report
+        claimed nothing. It must warn and say so in the report."""
+        from repro.cli import run_stream
+
+        with pytest.warns(RuntimeWarning, match="suppressed"):
+            out = run_stream(
+                n_txns=4,
+                n_depts=6,
+                shards=2,
+                parallel=True,
+                durable_path=str(tmp_path / "store"),
+            )
+        assert "parallel: suppressed (durable)" in out
+
+    def test_parallel_without_durable_does_not_warn(self, recwarn):
+        from repro.cli import run_stream
+
+        run_stream(n_txns=2, n_depts=6, shards=2, parallel=True)
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, RuntimeWarning)
+        ]
+
+    def test_clients_run_reports_batches(self):
+        from repro.cli import run_stream
+
+        out = run_stream(policy="deferred", n_txns=24, n_depts=8, clients=4)
+        assert "clients: 4 (max_batch 32" in out
+        assert "24 submitted, 24 committed" in out
+        assert "group-commit batches" in out
+
+    def test_clients_flag_via_argparse(self, capsys):
+        assert main(["run", "--n-txns", "8", "--clients", "2"]) == 0
+        assert "clients: 2" in capsys.readouterr().out

@@ -223,7 +223,101 @@ class TestLifecycle:
         assert result.committed and result.io.total == 0
 
     def test_txn_names_are_unique(self, engine):
-        assert engine.begin().name != engine.begin().name
+        first = engine.begin()
+        first.rollback()
+        assert first.name != engine.begin().name
+
+    def test_begin_while_active_raises(self, engine):
+        """Two open transactions would interleave undo journal entries —
+        exactly the corruption a second concurrent client used to be able
+        to trigger — so begin() while one is active must refuse."""
+        open_txn = engine.begin("first")
+        with pytest.raises(EngineError, match="still active"):
+            engine.begin("second")
+        # Finishing the first (either way) re-enables begin().
+        open_txn.rollback()
+        second = engine.begin("second")
+        assert second.state == "active"
+        second.rollback()
+
+    def test_begin_allowed_after_commit(self, engine):
+        old, new = emp_raise(engine.db)
+        engine.begin().modify("Emp", [(old, new)]).commit()
+        assert engine.begin().state == "active"
+
+    def test_commit_on_finished_txn_raises(self, engine):
+        txn = engine.begin()
+        txn.rollback()
+        with pytest.raises(EngineError, match="rolled back"):
+            txn.commit()
+        with pytest.raises(EngineError, match="rolled back"):
+            txn.stage("Emp", Delta.insertion([("x", "Toy", 1)]))
+
+
+class TestSnapshotReads:
+    def scan(self, engine):
+        from repro.workload.paperdb import EMP_SCHEMA
+
+        return Scan("Emp", EMP_SCHEMA)
+
+    def test_pinned_epoch_is_stable_across_commits(self, engine):
+        epoch = engine.pin_epoch()
+        before, _ = engine.select(self.scan(engine), epoch=epoch)
+        old, new = emp_raise(engine.db)
+        engine.execute(Transaction(">Emp", {"Emp": Delta.modification([(old, new)])}))
+        pinned, _ = engine.select(self.scan(engine), epoch=epoch)
+        live, _ = engine.select(self.scan(engine))
+        assert pinned == before
+        assert live != before
+        assert new in live and new not in pinned
+        engine.unpin_epoch(epoch)
+
+    def test_snapshot_survives_inserts_and_deletes(self, engine):
+        epoch = engine.pin_epoch()
+        before, _ = engine.select(self.scan(engine), epoch=epoch)
+        victim = sorted(engine.db.relation("Emp").contents().rows())[0]
+        engine.execute(Transaction("Hire", {"Emp": Delta.insertion([("zz", "Toy", 3)])}))
+        engine.execute(Transaction("Fire", {"Emp": Delta.deletion([victim])}))
+        pinned, _ = engine.select(self.scan(engine), epoch=epoch)
+        assert pinned == before
+        engine.unpin_epoch(epoch)
+
+    def test_history_retained_only_while_pinned(self, engine):
+        log = engine.db.epoch_log
+        old, new = emp_raise(engine.db)
+        engine.execute(Transaction(">Emp", {"Emp": Delta.modification([(old, new)])}))
+        assert log.retained == 0  # nobody was pinned: nothing kept
+        epoch = engine.pin_epoch()
+        old2, new2 = emp_raise(engine.db, index=1)
+        engine.execute(Transaction(">Emp", {"Emp": Delta.modification([(old2, new2)])}))
+        assert log.retained == 1
+        engine.unpin_epoch(epoch)
+        assert log.retained == 0
+
+    def test_snapshot_io_charged_at_snapshot_rowcounts(self, engine):
+        epoch = engine.pin_epoch()
+        shared_before = engine.db.counter.snapshot()
+        engine.execute(Transaction("Hire", {"Emp": Delta.insertion([("zz", "Toy", 3)])}))
+        shared_mid = engine.db.counter.snapshot()
+        rows, io = engine.select(self.scan(engine), epoch=epoch)
+        # Scans price the *snapshot's* row count, and never touch the
+        # shared ledger (snapshot readers must not race the writer).
+        assert io.tuple_reads == rows.total()
+        assert engine.db.counter.snapshot() == shared_mid
+        assert shared_mid != shared_before
+        engine.unpin_epoch(epoch)
+
+    def test_snapshot_epoch_zero_is_initial_state(self, engine):
+        initial = engine.db.relation("Emp").contents().copy()
+        epoch = engine.pin_epoch()
+        for index in range(3):
+            old, new = emp_raise(engine.db, index=index)
+            engine.execute(
+                Transaction(">Emp", {"Emp": Delta.modification([(old, new)])})
+            )
+        pinned, _ = engine.select(self.scan(engine), epoch=epoch)
+        assert pinned == initial
+        engine.unpin_epoch(epoch)
 
 
 class TestImmediatePolicy:

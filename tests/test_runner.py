@@ -124,3 +124,62 @@ class TestReportMetrics:
         engine.execute(_raise_txn(engine.db, amount=1))  # before the run
         report = run_transactions(engine, [_raise_txn(engine.db, index=1, amount=1)])
         assert report.metrics["engine.commits"] == 1
+
+    def test_durable_gauges_do_not_bleed_across_runs(self, tmp_path):
+        """Regression: the engine's _observe sets durable.* gauges from the
+        store's *cumulative* PagerStats, and since() passes gauges through
+        by value — so a second run_transactions over the same durable
+        engine used to report run 1's traffic (and a cumulative hit rate)
+        as its own. Metrics must be per-run deltas consistently."""
+        from repro.storage.database import Database
+        from repro.workload.paperdb import (
+            DEPT_SCHEMA,
+            EMP_SCHEMA,
+            generate_corporate_db,
+        )
+
+        db = Database(durable_path=str(tmp_path / "store"))
+        data = generate_corporate_db(20, 5, seed=7)
+        db.create_relation("Dept", DEPT_SCHEMA, data["Dept"], indexes=[["DName"]])
+        db.create_relation("Emp", EMP_SCHEMA, data["Emp"], indexes=[["DName"]])
+        engine = Engine(build_maintainer(db), metrics=MetricsRegistry())
+
+        first = run_transactions(
+            engine, [_raise_txn(db, index=i, amount=1) for i in range(3)]
+        )
+        second = run_transactions(
+            engine, [_raise_txn(db, index=5, amount=1)]
+        )
+        # WAL records are strictly per-run: run 2 wrote fewer commits than
+        # run 1, and neither includes the other's traffic.
+        assert first.metrics["durable.wal_records"] > 0
+        assert 0 < second.metrics["durable.wal_records"] < (
+            first.metrics["durable.wal_records"]
+        )
+        # The hit rate is this run's rate, not the cumulative store rate.
+        hits = second.metrics["cache.buffer_pool.hits"]
+        misses = second.metrics["cache.buffer_pool.misses"]
+        lookups = hits + misses
+        expected = hits / lookups if lookups else 0.0
+        assert second.metrics["durable.pool_hit_rate"] == expected
+        assert second.metrics["durable.pool_hit_rate"] != db.durable.stats.hit_rate or (
+            expected == db.durable.stats.hit_rate
+        )
+        db.close()
+
+    def test_concurrent_runner_reports_per_run_metrics(self, small_paper_db):
+        from repro.workload.runner import run_concurrent_transactions
+
+        engine = Engine(build_maintainer(small_paper_db), metrics=MetricsRegistry())
+        streams = [
+            [_raise_txn(engine.db, index=i, amount=1)] for i in range(4)
+        ]
+        report, batches = run_concurrent_transactions(engine, streams, max_batch=4)
+        assert report.submitted == 4 and report.rejected == 0
+        assert report.committed == 4
+        assert report.batches == len(batches) >= 1
+        assert len(report.clients) == 4
+        assert all(c.submitted == 1 for c in report.clients)
+        assert report.metrics["commit_queue.submitted"] == 4
+        assert report.io.total > 0
+        engine.maintainer.verify()
